@@ -1,0 +1,70 @@
+"""Figure 4: visualization of the searched patterns at each V/F level.
+
+Regenerates the paper's qualitative observations:
+- the three pattern sets have clearly different sparsity (paper: ~75/50/37%);
+- kept positions overlap across sparsity levels far above chance (the
+  "same shape" / "similar column characteristic" observation), because all
+  sets derive from the same BP-guided importance maps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
+from repro.core.patterns import MaskManager, pattern_mask_for_matrix
+from repro.core.search_space import PatternSearchSpace, SearchSpaceConfig
+from repro.core.visualize import figure4_report, shared_positions
+from repro.hardware.dvfs import DVFSTable
+from repro.hardware.workload import paper_scale_transformer
+
+from benchmarks.common import make_lm_task, write_result
+
+
+@pytest.fixture(scope="module")
+def searched_sets():
+    task = make_lm_task(pretrain_epochs=2)
+    apply_report = apply_block_pruning(task.model, BlockPruningConfig(num_blocks=2, rate=0.3))
+    manager = MaskManager(task.model, apply_report.masks)
+    space = PatternSearchSpace(
+        manager, paper_scale_transformer(), DVFSTable().subset(["l3", "l4", "l6"]),
+        deadline_s=0.104,
+        cfg=SearchSpaceConfig(pattern_size=12, theta=1, patterns_per_set=3, seed=0),
+    )
+    return {name: space.candidates[name][0] for name in space.level_names}
+
+
+def test_fig4_visualization(benchmark, searched_sets):
+    report = benchmark(figure4_report, searched_sets)
+    report += "\n\npaper shape: sparsity differs per level; kept positions overlap"
+    write_result("fig4_patterns", report)
+
+    # diverse sparsity across levels (l3 needs the sparsest patterns)
+    s = {name: ps.sparsity for name, ps in searched_sets.items()}
+    assert s["l3"] > s["l4"] > s["l6"]
+
+    # structural sharing: overlap of kept positions beats chance
+    sparse = searched_sets["l3"][0]
+    dense = searched_sets["l6"][0]
+    overlap = shared_positions(sparse, dense)
+    chance = 1.0 - dense.sparsity
+    assert overlap > chance + 0.1
+
+
+def test_fig4_within_set_diversity(benchmark, searched_sets):
+    def digest_all():
+        return {name: {p.digest() for p in ps} for name, ps in searched_sets.items()}
+
+    digests = benchmark(digest_all)
+    for name, dg in digests.items():
+        assert len(dg) >= 2, f"{name}: patterns should differ within a set"
+
+
+def test_bench_pattern_application_kernel(benchmark, searched_sets):
+    """Benchmark applying a pattern set to a paper-scale (3200x800) matrix —
+    the per-reconfiguration software cost."""
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(3200, 800))
+    ps = searched_sets["l4"]
+    mask, ids = benchmark(pattern_mask_for_matrix, w, ps)
+    assert mask.shape == w.shape
+    assert ids.size == (3200 // 12 + 1) * (800 // 12 + 1)

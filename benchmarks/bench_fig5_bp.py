@@ -1,0 +1,87 @@
+"""Figure 5: block-structured pruning across all 9 GLUE tasks + WikiText-2.
+
+For every task, compare the trained dense score with the score after BP
+plus a short fine-tune, at a ~1.4x-2x compression ratio.  Paper shape:
+up to 2x compression with small average score loss (paper: 1.74% average).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
+from repro.core.trainer import train_plain
+from repro.data.glue import GLUE_TASKS
+
+from benchmarks.common import fmt_pct, make_glue_task, make_lm_task, write_result
+
+# pruning rate per task, mirroring the paper's per-task compression choices
+RATES = {"wikitext2": 0.45, "mnli": 0.4, "qqp": 0.5, "qnli": 0.4, "sst2": 0.5,
+         "cola": 0.3, "stsb": 0.3, "mrpc": 0.4, "rte": 0.4, "wnli": 0.5}
+
+
+def run_bp_experiment(task, rate):
+    dense_score = task.evaluate()
+    report = apply_block_pruning(task.model, BlockPruningConfig(num_blocks=2, rate=rate))
+    train_plain(task, epochs=3, lr=2e-3)
+    pruned_score = task.evaluate()
+    return dense_score, pruned_score, report
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    results = {}
+    lm = make_lm_task(pretrain_epochs=6)
+    results["wikitext2"] = run_bp_experiment(lm, RATES["wikitext2"])
+    for name in GLUE_TASKS:
+        task = make_glue_task(name, pretrain_epochs=6)
+        results[name] = run_bp_experiment(task, RATES[name])
+    return results
+
+
+def render(results) -> str:
+    lines = [f"{'Task':<10} {'Dense':>9} {'BP':>9} {'Loss':>8} {'Compression':>12}",
+             "-" * 52]
+    losses = []
+    for name, (dense, pruned, report) in results.items():
+        loss = dense - pruned
+        losses.append(loss)
+        lines.append(f"{name:<10} {dense:>9.4f} {pruned:>9.4f} {loss:>+8.4f} "
+                     f"{report.compression_ratio:>11.2f}x")
+    lines.append("-" * 52)
+    lines.append(f"average score loss: {np.mean(losses):+.4f} "
+                 f"(paper: 1.74% avg at up to 2x compression)")
+    return "\n".join(lines)
+
+
+def test_fig5_shape(benchmark, fig5_results):
+    text = benchmark(render, fig5_results)
+    write_result("fig5_block_pruning", text)
+
+    losses = [dense - pruned for dense, pruned, _ in fig5_results.values()]
+    ratios = [r.compression_ratio for _, _, r in fig5_results.values()]
+    # compression achieved in the paper's band
+    assert min(ratios) > 1.2
+    assert max(ratios) <= 2.3
+    # scores survive pruning: bounded average loss at mini scale
+    assert np.mean(losses) < 0.12
+    # at least 7 of 10 tasks lose less than 15 points
+    tolerable = sum(1 for l in losses if l < 0.15)
+    assert tolerable >= 7
+
+
+def test_fig5_wikitext_small_loss(benchmark, fig5_results):
+    dense, pruned, report = benchmark(lambda: fig5_results["wikitext2"])
+    assert dense - pruned < 0.10
+    assert report.compression_ratio > 1.5
+
+
+def test_bench_bp_apply_kernel(benchmark):
+    """Benchmark BP mask construction + installation on a full model."""
+    task = make_lm_task(pretrain_epochs=0)
+    cfg = BlockPruningConfig(num_blocks=2, rate=0.5)
+
+    def apply():
+        return apply_block_pruning(task.model, cfg)
+
+    report = benchmark(apply)
+    assert report.overall_sparsity == pytest.approx(0.5, abs=0.05)

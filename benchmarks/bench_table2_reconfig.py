@@ -1,0 +1,110 @@
+"""Table II: E1 (no reconfig) vs E2 (DVFS only) vs E3 (DVFS + pattern swap).
+
+Reproduces the motivation experiment: all three approaches get the same
+energy budget and a 115 ms deadline; E2 adds hardware reconfiguration
+(DVFS governor), E3 adds software reconfiguration (per-level pattern
+sparsity).  Expected shape: E2 runs more inferences than E1 but misses
+the deadline at low V/F levels; E3 runs the most and meets every deadline.
+
+Paper numbers: E1 1.53e6 runs; E2 +17.30%; E3 1.78x E1.
+"""
+
+import pytest
+
+from repro.hardware.energy_sim import ModeAssignment
+from repro.hardware.latency import SparsityKind
+from repro.hardware.platform import OdroidXU3
+from repro.hardware.workload import paper_scale_transformer
+
+from benchmarks.common import fmt_runs, write_result
+
+DEADLINE = 0.115
+S_BP = 0.6426  # model M1 = the BP backbone of Table IV
+
+
+@pytest.fixture(scope="module")
+def setup():
+    plat = OdroidXU3()
+    wl = paper_scale_transformer()
+    sim = plat.simulator(wl)
+    return plat, wl, sim
+
+
+def m1(level):
+    return ModeAssignment(level, S_BP, SparsityKind.BLOCK)
+
+
+def run_experiments(plat, wl, sim):
+    lat = plat.latency
+    e1 = sim.single_level_campaign(m1("l6"), DEADLINE)
+    e2 = sim.run_campaign([m1("l6"), m1("l4"), m1("l3")], DEADLINE,
+                          charge_switches=False)
+    s4 = lat.sparsity_for_deadline(wl, plat.dvfs["l4"], 0.1006, SparsityKind.PATTERN)
+    s3 = lat.sparsity_for_deadline(wl, plat.dvfs["l3"], 0.0906, SparsityKind.PATTERN)
+    e3 = sim.run_campaign(
+        [ModeAssignment("l6", S_BP, SparsityKind.BLOCK, num_patterns=8),
+         ModeAssignment("l4", s4, SparsityKind.PATTERN, num_patterns=8),
+         ModeAssignment("l3", s3, SparsityKind.PATTERN, num_patterns=8)],
+        DEADLINE)
+    return e1, e2, e3
+
+
+def render(e1, e2, e3):
+    rows = [
+        f"{'App.':<4} {'Mode':<7} {'Lat.(ms)':>9} {'Sat.':>5} {'#runs':>11} {'Imp':>8}",
+        "-" * 50,
+    ]
+
+    def emit(tag, campaign, imp):
+        for o in campaign.outcomes:
+            rows.append(
+                f"{tag:<4} {o.level.name:<7} {o.latency_s * 1e3:>9.2f} "
+                f"{'yes' if o.meets_deadline else 'NO':>5} "
+                f"{fmt_runs(campaign.total_runs):>11} {imp:>8}"
+            )
+            tag = ""
+
+    emit("E1", e1, "-")
+    emit("E2", e2, f"+{100 * (e2.total_runs / e1.total_runs - 1):.2f}%")
+    emit("E3", e3, f"{e3.total_runs / e1.total_runs:.2f}x")
+    rows.append("")
+    rows.append("paper: E1 1.53e6 runs; E2 +17.30% (misses deadline at N/E);")
+    rows.append("       E3 1.78x, all deadlines satisfied")
+    return "\n".join(rows)
+
+
+def test_table2_shape(benchmark, setup):
+    plat, wl, sim = setup
+    e1, e2, e3 = benchmark(run_experiments, plat, wl, sim)
+    write_result("table2_reconfiguration", render(e1, e2, e3))
+
+    # E1 anchor and orderings
+    assert e1.total_runs == pytest.approx(1.53e6, rel=0.02)
+    assert e2.total_runs > e1.total_runs
+    assert e3.total_runs > e2.total_runs
+    # E2 misses the deadline below l6; E3 meets all
+    met = {o.level.name: o.meets_deadline for o in e2.outcomes}
+    assert met["l6"] and not met["l4"] and not met["l3"]
+    assert e3.all_deadlines_met
+    # improvement factors in the paper's ballpark
+    assert 1.10 < e2.total_runs / e1.total_runs < 1.25
+    assert 1.4 < e3.total_runs / e1.total_runs < 2.1
+
+
+def test_bench_campaign_kernel(benchmark, setup):
+    plat, wl, sim = setup
+    assignments = [m1("l6"), m1("l4"), m1("l3")]
+    result = benchmark(sim.run_campaign, assignments, DEADLINE)
+    assert result.total_runs > 0
+
+
+def test_bench_event_driven_discharge(benchmark, setup):
+    plat, wl, sim = setup
+    assignments = [m1("l6"), m1("l4"), m1("l3")]
+
+    def discharge():
+        res, _ = sim.simulate_discharge(assignments, DEADLINE, chunk_runs=20000)
+        return res
+
+    result = benchmark(discharge)
+    assert result.total_runs > 0

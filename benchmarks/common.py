@@ -1,0 +1,102 @@
+"""Shared scaffolding for the per-table/figure benchmark harnesses.
+
+Each ``bench_*`` module reproduces one table or figure of the paper at
+laptop scale: it builds the experiment, prints the same rows/series the
+paper reports (plus the paper's own numbers for comparison), writes the
+rendered table under ``benchmarks/results/`` and benchmarks the key
+computational kernel with pytest-benchmark.
+
+Absolute numbers are not expected to match the authors' testbed; the
+*shape* (who wins, by roughly what factor) is asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import numpy as np
+
+from repro.core.controller import ControllerConfig
+from repro.core.block_pruning import BlockPruningConfig
+from repro.core.rt3 import RT3Config
+from repro.core.search_space import SearchSpaceConfig
+from repro.core.tasks import GlueTask, LMTask
+from repro.core.trainer import TrainConfig, train_plain
+from repro.data.glue import GlueTaskConfig, SyntheticGlueTask
+from repro.data.wikitext import SyntheticWikiText, WikiTextConfig
+from repro.nn.distilbert import DistilBertConfig, DistilBertForSequenceTask
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+# ---------------------------------------------------------------------------
+# experiment builders (kept deliberately small so benches stay minutes-fast)
+# ---------------------------------------------------------------------------
+
+def make_lm_task(seed: int = 0, pretrain_epochs: int = 4) -> LMTask:
+    """A trained tiny WikiText-2-style LM task."""
+    model = TransformerLM(TransformerConfig(
+        vocab_size=60, dim=32, num_heads=2, ffn_dim=64,
+        num_encoder_layers=2, num_decoder_layers=1,
+        max_len=16, dropout=0.0, seed=seed,
+    ))
+    corpus = SyntheticWikiText(WikiTextConfig(vocab_size=60, num_tokens=6000, seed=7))
+    task = LMTask(model, corpus, seq_len=12, batch_size=8,
+                  max_train_batches=20, max_eval_batches=6)
+    if pretrain_epochs:
+        train_plain(task, epochs=pretrain_epochs, lr=3e-3)
+    return task
+
+
+def make_glue_task(task_name: str, seed: int = 0, pretrain_epochs: int = 4) -> GlueTask:
+    """A trained tiny DistilBERT GLUE task."""
+    data = SyntheticGlueTask(GlueTaskConfig(
+        task=task_name, vocab_size=80, num_train=128, num_eval=64,
+        seq_len=16, seed=11,
+    ))
+    cfg = DistilBertConfig(
+        vocab_size=80, dim=32, num_heads=2, ffn_dim=64, num_layers=2,
+        max_len=24, dropout=0.0, num_labels=max(data.num_labels, 2),
+        is_regression=data.is_regression, seed=seed,
+    )
+    model = DistilBertForSequenceTask(cfg)
+    glue = GlueTask(model, data, batch_size=16, max_train_batches=8)
+    if pretrain_epochs:
+        train_plain(glue, epochs=pretrain_epochs, lr=3e-3)
+    return glue
+
+
+def small_rt3_config(deadline_s: float, episodes: int = 6, seed: int = 0,
+                     min_accuracy: float = 0.0) -> RT3Config:
+    """RT3 configuration shared by the search-driven benches."""
+    return RT3Config(
+        deadline_s=deadline_s,
+        episodes=episodes,
+        min_accuracy=min_accuracy,
+        bp=BlockPruningConfig(num_blocks=2, rate=0.3, seed=seed),
+        space=SearchSpaceConfig(pattern_size=8, theta=3, patterns_per_set=3,
+                                seed=seed),
+        controller=ControllerConfig(seed=seed),
+        episode_train=TrainConfig(epochs=1, lr=2e-3),
+        finetune_train=TrainConfig(epochs=2, lr=2e-3),
+        backbone_finetune_epochs=2,
+        seed=seed,
+    )
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100 * x:.2f}%"
+
+
+def fmt_runs(x: float) -> str:
+    return f"{x:.3e}"

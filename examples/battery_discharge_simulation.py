@@ -1,0 +1,80 @@
+"""Battery-discharge simulation: the paper's Table II motivation scenario.
+
+Simulates one full battery charge of an Odroid-XU3 running the paper-scale
+Transformer under three strategies:
+
+  E1 — no reconfiguration: always the top V/F level (l6);
+  E2 — hardware reconfiguration only: the DVFS governor scales down as the
+       battery drains, but the model is fixed (misses deadlines at low
+       frequency);
+  E3 — hardware + software reconfiguration (RT3): each V/F level gets a
+       pattern set whose sparsity restores the deadline.
+
+Prints the number-of-runs comparison and an event-driven discharge
+timeline with the governor's level transitions and switch costs.
+
+Run:  python examples/battery_discharge_simulation.py
+"""
+
+from repro.hardware import OdroidXU3, paper_scale_transformer
+from repro.hardware.energy_sim import ModeAssignment
+from repro.hardware.latency import SparsityKind
+
+DEADLINE = 0.115  # the paper's 115 ms timing constraint
+S_BP = 0.6426  # model M1: the BP backbone of Table IV
+
+
+def main() -> None:
+    plat = OdroidXU3()
+    wl = paper_scale_transformer()
+    sim = plat.simulator(wl)
+
+    def m1(level):
+        return ModeAssignment(level, S_BP, SparsityKind.BLOCK)
+
+    # E1: everything at l6
+    e1 = sim.single_level_campaign(m1("l6"), DEADLINE)
+    print(f"E1 (no reconfig)     : {e1.total_runs:.3e} runs, "
+          f"deadline met: {e1.all_deadlines_met}")
+
+    # E2: DVFS only — same model at every level
+    e2 = sim.run_campaign([m1("l6"), m1("l4"), m1("l3")], DEADLINE,
+                          charge_switches=False)
+    print(f"E2 (DVFS only)       : {e2.total_runs:.3e} runs "
+          f"(+{100 * (e2.total_runs / e1.total_runs - 1):.1f}%)")
+    for o in e2.outcomes:
+        flag = "ok" if o.meets_deadline else "MISSES DEADLINE"
+        print(f"   {o.level.name}: {o.latency_s * 1e3:7.2f} ms  {flag}")
+
+    # E3: DVFS + pattern-set swap — sparsity restores the deadline per level
+    lat = plat.latency
+    s4 = lat.sparsity_for_deadline(wl, plat.dvfs["l4"], 0.1006, SparsityKind.PATTERN)
+    s3 = lat.sparsity_for_deadline(wl, plat.dvfs["l3"], 0.0906, SparsityKind.PATTERN)
+    assignments = [
+        ModeAssignment("l6", S_BP, SparsityKind.BLOCK, num_patterns=8),
+        ModeAssignment("l4", s4, SparsityKind.PATTERN, num_patterns=8),
+        ModeAssignment("l3", s3, SparsityKind.PATTERN, num_patterns=8),
+    ]
+    e3 = sim.run_campaign(assignments, DEADLINE)
+    print(f"E3 (DVFS + patterns) : {e3.total_runs:.3e} runs "
+          f"({e3.total_runs / e1.total_runs:.2f}x E1), "
+          f"all deadlines met: {e3.all_deadlines_met}")
+    print(f"   switch time per charge: {e3.switch_seconds * 1e3:.1f} ms "
+          f"({e3.switch_energy_j:.4f} J)")
+
+    # event-driven timeline of the E3 discharge
+    print("\nevent-driven discharge timeline (battery fraction -> level):")
+    result, timeline = sim.simulate_discharge(assignments, DEADLINE,
+                                              chunk_runs=50_000)
+    for fraction, level in timeline:
+        lvl = plat.dvfs[level]
+        print(f"   battery {fraction:6.1%} -> {level} "
+              f"({lvl.freq_mhz:.0f} MHz @ {lvl.voltage_mv:.0f} mV)")
+    print(f"   total inferences this charge: {result.total_runs:.3e}")
+    by_level = result.runs_by_level()
+    for name, runs in sorted(by_level.items(), reverse=True):
+        print(f"     {name}: {runs:.3e} runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: run the full RT3 pipeline on a small WikiText-2-style LM.
+
+Steps mirror the paper's Fig. 1:
+  1. train an original Transformer model M;
+  2. Level 1 — block-structured pruning produces the backbone C;
+  3. Level 2 — build the shrunken pattern search space and run the RL
+     search, binding one pattern set to each DVFS V/F level;
+  4. report accuracy per level, latency per level, battery runs, and the
+     run-time switch cost vs a full model reload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BlockPruningConfig, ControllerConfig, RT3, RT3Config, SearchSpaceConfig
+from repro.core.tasks import LMTask
+from repro.core.trainer import TrainConfig, train_plain
+from repro.data import SyntheticWikiText, WikiTextConfig
+from repro.hardware import paper_scale_transformer
+from repro.nn import TransformerConfig, TransformerLM
+
+
+def main() -> None:
+    # 1. the original model M, trained on the (synthetic) WikiText-2 corpus
+    model = TransformerLM(TransformerConfig(
+        vocab_size=60, dim=32, num_heads=2, ffn_dim=64,
+        num_encoder_layers=2, num_decoder_layers=1,  # the paper's layout
+        max_len=16, dropout=0.0, seed=0,
+    ))
+    corpus = SyntheticWikiText(WikiTextConfig(vocab_size=60, num_tokens=6000))
+    task = LMTask(model, corpus, seq_len=12, batch_size=8,
+                  max_train_batches=20, max_eval_batches=6)
+    print("training the original model M ...")
+    train_plain(task, epochs=5, lr=3e-3)
+    print(f"  next-word accuracy: {task.evaluate():.2%}")
+
+    # 2.-3. the RT3 two-level search against a 104 ms deadline on the
+    #        Odroid-XU3's {l3, l4, l6} V/F levels
+    cfg = RT3Config(
+        deadline_s=0.104,
+        episodes=6,
+        bp=BlockPruningConfig(num_blocks=2, rate=0.3),
+        space=SearchSpaceConfig(pattern_size=8, theta=3, patterns_per_set=3),
+        controller=ControllerConfig(seed=0),
+        episode_train=TrainConfig(epochs=1, lr=2e-3),
+        finetune_train=TrainConfig(epochs=2, lr=2e-3),
+        backbone_finetune_epochs=2,
+    )
+    rt3 = RT3(task, paper_scale_transformer(), cfg)
+    print("\nrunning the RT3 search (BP -> search space -> RL episodes) ...")
+    result = rt3.search()
+
+    # 4. the deployment report
+    print(f"\noriginal accuracy      : {result.original_accuracy:.2%}")
+    print(f"BP backbone accuracy   : {result.backbone_accuracy:.2%} "
+          f"(sparsity {result.backbone_report.overall_sparsity:.1%})")
+    print("\nper-level deployment (paper Table III layout):")
+    for name in sorted(result.final_accuracies, reverse=True):
+        total_s = rt3.space.total_sparsity(result.best.pattern_sets[name].sparsity)
+        print(f"  {name}: sparsity {total_s:6.1%}  "
+              f"latency {result.final_latencies_ms[name]:7.2f} ms  "
+              f"accuracy {result.final_accuracies[name]:.2%}")
+    print(f"\nbattery runs per charge: {result.final_total_runs:.3e}")
+    print(f"pattern-set switch     : {result.switch_ms:.2f} ms")
+    print(f"full model reload (UB) : {result.reload_ms / 1e3:.2f} s "
+          f"({result.reload_ms / result.switch_ms:.0f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so ``pip install -e .``
+(PEP 517 editable) cannot build. ``python setup.py develop`` works with the
+vendored setuptools and produces an equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

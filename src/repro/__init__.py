@@ -1,0 +1,30 @@
+"""RT3: run-time reconfigurable Transformer pruning (DAC 2021) — reproduction.
+
+Song et al., "Dancing along Battery: Enabling Transformer with Run-time
+Reconfigurability on Mobile Devices", DAC 2021 (arXiv:2102.06336).
+
+Subpackages:
+
+- :mod:`repro.tensor`   NumPy reverse-mode autograd substrate
+- :mod:`repro.nn`       Transformer / DistilBERT models, optimizers
+- :mod:`repro.data`     synthetic WikiText-2 and GLUE datasets, metrics
+- :mod:`repro.hardware` Odroid-XU3 model: DVFS, power, latency, battery,
+  run-time reconfiguration costs
+- :mod:`repro.core`     the paper's contribution: block-structured pruning,
+  pattern pruning, RL search, joint training, the RT3 framework
+
+Quickstart::
+
+    from repro.core import RT3, RT3Config
+    from repro.core.tasks import LMTask
+    from repro.hardware import paper_scale_transformer
+
+    rt3 = RT3(task, paper_scale_transformer(), RT3Config(deadline_s=0.104))
+    result = rt3.search()
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, data, hardware, nn, tensor
+
+__all__ = ["core", "data", "hardware", "nn", "tensor", "__version__"]

@@ -1,0 +1,238 @@
+"""Command-line interface: ``rt3 <command>``.
+
+Commands:
+
+- ``rt3 info``      — DVFS table, calibration constants, paper anchors
+- ``rt3 simulate``  — Table-II-style discharge comparison (E1/E2/E3)
+- ``rt3 search``    — run the RT3 search on a synthetic task, optionally
+  exporting a deployment bundle and a JSON report
+- ``rt3 ablation``  — the Table-IV six-way ablation on a synthetic task
+
+All commands run offline on the synthetic substrates; sizes are laptop
+scale by default and adjustable via flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# task construction shared by search/ablation
+# ---------------------------------------------------------------------------
+
+def _build_task(args):
+    from repro.core.tasks import GlueTask, LMTask
+    from repro.core.trainer import train_plain
+    from repro.data.glue import GlueTaskConfig, SyntheticGlueTask
+    from repro.data.wikitext import SyntheticWikiText, WikiTextConfig
+    from repro.hardware.workload import paper_scale_distilbert, paper_scale_transformer
+    from repro.nn.distilbert import DistilBertConfig, DistilBertForSequenceTask
+    from repro.nn.transformer import TransformerConfig, TransformerLM
+
+    if args.task == "wikitext2":
+        model = TransformerLM(TransformerConfig(
+            vocab_size=60, dim=args.dim, num_heads=2, ffn_dim=2 * args.dim,
+            max_len=16, dropout=0.0, seed=args.seed))
+        corpus = SyntheticWikiText(WikiTextConfig(vocab_size=60, num_tokens=6000))
+        task = LMTask(model, corpus, seq_len=12, batch_size=8,
+                      max_train_batches=20, max_eval_batches=6)
+        workload = paper_scale_transformer()
+    else:
+        data = SyntheticGlueTask(GlueTaskConfig(
+            task=args.task, vocab_size=80, num_train=128, num_eval=64, seq_len=16))
+        cfg = DistilBertConfig(
+            vocab_size=80, dim=args.dim, num_heads=2, ffn_dim=2 * args.dim,
+            num_layers=2, max_len=24, dropout=0.0,
+            num_labels=max(data.num_labels, 2),
+            is_regression=data.is_regression, seed=args.seed)
+        task = GlueTask(DistilBertForSequenceTask(cfg), data, batch_size=16,
+                        max_train_batches=8)
+        workload = paper_scale_distilbert()
+    train_plain(task, epochs=args.pretrain_epochs, lr=3e-3)
+    return task, workload
+
+
+def _rt3_config(args):
+    from repro.core.block_pruning import BlockPruningConfig
+    from repro.core.controller import ControllerConfig
+    from repro.core.rt3 import RT3Config
+    from repro.core.search_space import SearchSpaceConfig
+    from repro.core.trainer import TrainConfig
+
+    return RT3Config(
+        deadline_s=args.deadline_ms / 1e3,
+        episodes=args.episodes,
+        min_accuracy=-1.0 if args.task == "stsb" else 0.0,
+        bp=BlockPruningConfig(num_blocks=2, rate=args.bp_rate, seed=args.seed),
+        space=SearchSpaceConfig(pattern_size=args.pattern_size, theta=3,
+                                patterns_per_set=3, seed=args.seed),
+        controller=ControllerConfig(seed=args.seed),
+        episode_train=TrainConfig(epochs=1, lr=2e-3),
+        finetune_train=TrainConfig(epochs=2, lr=2e-3),
+        backbone_finetune_epochs=2,
+        seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def cmd_info(args) -> int:
+    from repro.hardware import calibration
+    from repro.hardware.dvfs import ODROID_XU3_LEVELS
+    from repro.hardware.power import PowerModel
+
+    pm = PowerModel()
+    print("Odroid-XU3 V/F levels (paper Table I):")
+    for lv in ODROID_XU3_LEVELS:
+        print(f"  {lv.name}: {lv.freq_mhz:6.0f} MHz  {lv.voltage_mv:8.2f} mV  "
+              f"P={pm.power_w(lv):.3f} W")
+    print("\ncalibration constants:")
+    for name in ("CYCLES_PER_MAC", "BATTERY_BUDGET_J", "OFFCHIP_BANDWIDTH_BPS",
+                 "KAPPA_EFF_F", "LEAKAGE_W_PER_V", "SWITCH_OVERHEAD_S"):
+        print(f"  {name} = {getattr(calibration, name)}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.hardware.energy_sim import ModeAssignment
+    from repro.hardware.latency import SparsityKind
+    from repro.hardware.platform import OdroidXU3
+    from repro.hardware.workload import paper_scale_transformer
+
+    plat = OdroidXU3()
+    wl = paper_scale_transformer()
+    sim = plat.simulator(wl)
+    deadline = args.deadline_ms / 1e3
+    s_bp = args.bp_sparsity
+
+    def m1(level):
+        return ModeAssignment(level, s_bp, SparsityKind.BLOCK)
+
+    e1 = sim.single_level_campaign(m1("l6"), deadline)
+    e2 = sim.run_campaign([m1("l6"), m1("l4"), m1("l3")], deadline,
+                          charge_switches=False)
+    lat = plat.latency
+    s4 = lat.sparsity_for_deadline(wl, plat.dvfs["l4"], deadline * 0.875,
+                                   SparsityKind.PATTERN)
+    s3 = lat.sparsity_for_deadline(wl, plat.dvfs["l3"], deadline * 0.788,
+                                   SparsityKind.PATTERN)
+    e3 = sim.run_campaign(
+        [ModeAssignment("l6", s_bp, SparsityKind.BLOCK, num_patterns=8),
+         ModeAssignment("l4", s4, SparsityKind.PATTERN, num_patterns=8),
+         ModeAssignment("l3", s3, SparsityKind.PATTERN, num_patterns=8)],
+        deadline)
+    print(f"E1 (no reconfig)     : {e1.total_runs:.3e} runs")
+    print(f"E2 (DVFS only)       : {e2.total_runs:.3e} runs "
+          f"(+{100 * (e2.total_runs / e1.total_runs - 1):.1f}%), "
+          f"deadlines: {[o.meets_deadline for o in e2.outcomes]}")
+    print(f"E3 (DVFS + patterns) : {e3.total_runs:.3e} runs "
+          f"({e3.total_runs / e1.total_runs:.2f}x), all deadlines met: "
+          f"{e3.all_deadlines_met}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.core.rt3 import RT3
+    from repro.deploy import export_bundle
+
+    task, workload = _build_task(args)
+    rt3 = RT3(task, workload, _rt3_config(args))
+    print(f"searching ({args.episodes} episodes, T={args.deadline_ms} ms) ...")
+    result = rt3.search()
+
+    report = {
+        "task": args.task,
+        "deadline_ms": args.deadline_ms,
+        "original_accuracy": result.original_accuracy,
+        "backbone_accuracy": result.backbone_accuracy,
+        "backbone_sparsity": result.backbone_report.overall_sparsity,
+        "final_accuracies": result.final_accuracies,
+        "final_latencies_ms": result.final_latencies_ms,
+        "total_runs": result.final_total_runs,
+        "switch_ms": result.switch_ms,
+        "reload_ms": result.reload_ms,
+        "pareto": result.pareto_points,
+    }
+    print(json.dumps(report, indent=2))
+    if args.bundle:
+        bundle = export_bundle(rt3, result)
+        path = bundle.save(args.bundle)
+        print(f"deployment bundle written to {path}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from repro.core.ablation import AblationConfig, AblationStudy, format_ablation_table
+
+    task, workload = _build_task(args)
+    cfg = AblationConfig(rt3=_rt3_config(args), finetune_epochs=2, seed=args.seed)
+    study = AblationStudy(task, workload, cfg)
+    rows = study.run_all()
+    print(format_ablation_table(rows))
+    if args.output:
+        payload = [row.as_tuple() for row in rows]
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"rows written to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def _add_task_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--task", default="wikitext2",
+                   choices=["wikitext2", "rte", "stsb", "sst2", "cola", "mrpc",
+                            "qqp", "mnli", "qnli", "wnli"])
+    p.add_argument("--deadline-ms", type=float, default=104.0)
+    p.add_argument("--episodes", type=int, default=6)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--bp-rate", type=float, default=0.3)
+    p.add_argument("--pattern-size", type=int, default=8)
+    p.add_argument("--pretrain-epochs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write a JSON report here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="rt3", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="DVFS table and calibration").set_defaults(fn=cmd_info)
+
+    p_sim = sub.add_parser("simulate", help="E1/E2/E3 discharge comparison")
+    p_sim.add_argument("--deadline-ms", type=float, default=115.0)
+    p_sim.add_argument("--bp-sparsity", type=float, default=0.6426)
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_search = sub.add_parser("search", help="run the RT3 search")
+    _add_task_args(p_search)
+    p_search.add_argument("--bundle", help="export a deployment bundle here")
+    p_search.set_defaults(fn=cmd_search)
+
+    p_abl = sub.add_parser("ablation", help="Table IV six-way ablation")
+    _add_task_args(p_abl)
+    p_abl.set_defaults(fn=cmd_ablation)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

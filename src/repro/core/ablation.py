@@ -1,0 +1,216 @@
+"""Table IV's ablation study as a reusable harness.
+
+Six configurations, in the paper's column order:
+
+- ``no_opt``   the original (trained, dense) model
+- ``rbp_only`` random block pruning
+- ``rbp_rpp``  random BP + random pattern sets
+- ``rbp_pp``   random BP + BP-guided ("proposed") pattern search space
+- ``bp_only``  block-structured pruning (Algorithm 1)
+- ``rt3``      the full framework (BP + RL-searched PP)
+
+Single-model configurations are scored on a single-level campaign at the
+top V/F level (they cannot adapt to DVFS); multi-pattern-set
+configurations run the full governor campaign — matching how the paper's
+"number of runs" column grows for the reconfigurable variants.
+
+Every configuration starts from the same trained dense checkpoint, which
+is snapshotted and restored between runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
+from repro.core.patterns import MaskManager, PatternSet, random_pattern_set
+from repro.core.rt3 import RT3, RT3Config
+from repro.core.search_space import PatternSearchSpace
+from repro.core.tasks import Task
+from repro.core.trainer import JointTrainer, TrainConfig, train_plain
+from repro.hardware.energy_sim import ModeAssignment
+from repro.hardware.latency import SparsityKind
+from repro.hardware.platform import OdroidXU3
+from repro.hardware.workload import WorkloadProfile
+
+
+@dataclass
+class AblationRow:
+    """One column of Table IV."""
+
+    method: str
+    avg_sparsity: float
+    runs: float
+    improvement: float  # runs relative to no_opt
+    avg_accuracy: float
+    accuracy_loss: float  # vs no_opt accuracy
+
+    def as_tuple(self):
+        return (self.method, self.avg_sparsity, self.runs, self.improvement,
+                self.avg_accuracy, self.accuracy_loss)
+
+
+@dataclass
+class AblationConfig:
+    """Shared knobs for all six configurations."""
+
+    rt3: RT3Config = field(default_factory=RT3Config)
+    finetune_epochs: int = 1
+    seed: int = 0
+
+
+class AblationStudy:
+    """Runs the six Table-IV configurations on one task."""
+
+    def __init__(self, task: Task, workload: WorkloadProfile,
+                 cfg: AblationConfig = AblationConfig(),
+                 platform: Optional[OdroidXU3] = None) -> None:
+        self.task = task
+        self.workload = workload
+        self.cfg = cfg
+        self.platform = platform or OdroidXU3()
+        self._checkpoint = task.model.state_dict()
+        self._rng = np.random.default_rng(cfg.seed)
+        self.simulator = self.platform.simulator(
+            workload, cfg.rt3.level_names,
+            pattern_size=cfg.rt3.space.hardware_pattern_size,
+        )
+        self._baseline_runs: Optional[float] = None
+        self._baseline_acc: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _restore(self) -> None:
+        self.task.model.load_state_dict(self._checkpoint)
+        from repro.nn.layers import prunable_linears
+
+        for layer in prunable_linears(self.task.model).values():
+            layer.set_mask(None)
+
+    def _single_level_runs(self, sparsity: float, kind: SparsityKind) -> float:
+        top = self.cfg.rt3.level_names[-1]
+        campaign = self.simulator.single_level_campaign(
+            ModeAssignment(top, sparsity, kind), self.cfg.rt3.deadline_s
+        )
+        return campaign.total_runs
+
+    def _campaign_runs(self, sparsities: Dict[str, float], num_patterns: int) -> float:
+        assignments = [
+            ModeAssignment(name, sparsities[name], SparsityKind.PATTERN,
+                           num_patterns=num_patterns)
+            for name in self.cfg.rt3.level_names
+        ]
+        campaign = self.simulator.run_campaign(assignments, self.cfg.rt3.deadline_s)
+        return campaign.total_runs
+
+    def _row(self, method: str, sparsity: float, runs: float, acc: float) -> AblationRow:
+        assert self._baseline_runs is not None and self._baseline_acc is not None
+        return AblationRow(method, sparsity, runs, runs / self._baseline_runs,
+                           acc, self._baseline_acc - acc)
+
+    # ------------------------------------------------------------------
+    # the six configurations
+    # ------------------------------------------------------------------
+    def no_opt(self) -> AblationRow:
+        self._restore()
+        acc = self.task.evaluate()
+        runs = self._single_level_runs(0.0, SparsityKind.DENSE)
+        self._baseline_runs, self._baseline_acc = runs, acc
+        return AblationRow("No-Opt", 0.0, runs, 1.0, acc, 0.0)
+
+    def _bp_variant(self, method: str, random_baseline: bool) -> AblationRow:
+        self._restore()
+        report = apply_block_pruning(self.task.model, self.cfg.rt3.bp,
+                                     random_baseline=random_baseline)
+        train_plain(self.task, epochs=self.cfg.finetune_epochs,
+                    lr=self.cfg.rt3.episode_train.lr)
+        acc = self.task.evaluate()
+        runs = self._single_level_runs(report.overall_sparsity, SparsityKind.BLOCK)
+        return self._row(method, report.overall_sparsity, runs, acc)
+
+    def bp_only(self) -> AblationRow:
+        return self._bp_variant("BP only", random_baseline=False)
+
+    def rbp_only(self) -> AblationRow:
+        return self._bp_variant("rBP only", random_baseline=True)
+
+    def _pp_variant(self, method: str, random_bp: bool, random_pp: bool) -> AblationRow:
+        self._restore()
+        report = apply_block_pruning(self.task.model, self.cfg.rt3.bp,
+                                     random_baseline=random_bp)
+        manager = MaskManager(self.task.model, report.masks)
+        space = PatternSearchSpace(
+            manager, self.workload, self.platform.dvfs.subset(self.cfg.rt3.level_names),
+            self.cfg.rt3.deadline_s, latency=self.platform.latency,
+            cfg=self.cfg.rt3.space,
+        )
+        if random_pp:
+            sets = {
+                name: random_pattern_set(self.cfg.rt3.space.pattern_size,
+                                         space.candidates[name][0].sparsity,
+                                         self.cfg.rt3.space.patterns_per_set,
+                                         rng=self._rng)
+                for name in space.level_names
+            }
+        else:
+            sets = space.heuristic_choice()
+        trainer = JointTrainer(self.task, manager,
+                               TrainConfig(epochs=self.cfg.finetune_epochs,
+                                           lr=self.cfg.rt3.episode_train.lr))
+        trainer.train(sets)
+        accs = trainer.accuracies(sets)
+        totals = {name: space.total_sparsity(sets[name].sparsity)
+                  for name in space.level_names}
+        runs = self._campaign_runs(totals, self.cfg.rt3.space.patterns_per_set)
+        avg_s = float(np.mean(list(totals.values())))
+        avg_acc = float(np.mean(list(accs.values())))
+        return self._row(method, avg_s, runs, avg_acc)
+
+    def rbp_rpp(self) -> AblationRow:
+        return self._pp_variant("rBP+rPP", random_bp=True, random_pp=True)
+
+    def rbp_pp(self) -> AblationRow:
+        return self._pp_variant("rBP+PP", random_bp=True, random_pp=False)
+
+    def rt3(self) -> AblationRow:
+        self._restore()
+        framework = RT3(self.task, self.workload, self.cfg.rt3, platform=self.platform)
+        result = framework.search()
+        assert framework.space is not None
+        totals = {
+            name: framework.space.total_sparsity(result.best.pattern_sets[name].sparsity)
+            for name in self.cfg.rt3.level_names
+        }
+        runs = result.final_total_runs
+        avg_s = float(np.mean(list(totals.values())))
+        avg_acc = float(np.mean(list(result.final_accuracies.values())))
+        return self._row("RT3", avg_s, runs, avg_acc)
+
+    # ------------------------------------------------------------------
+    def run_all(self) -> List[AblationRow]:
+        """All six rows in the paper's column order."""
+        rows = [self.no_opt()]
+        rows.append(self.rbp_only())
+        rows.append(self.rbp_rpp())
+        rows.append(self.rbp_pp())
+        rows.append(self.bp_only())
+        rows.append(self.rt3())
+        self._restore()
+        return rows
+
+
+def format_ablation_table(rows: List[AblationRow], metric_name: str = "Acc") -> str:
+    """Render rows the way Table IV prints them."""
+    header = f"{'Method':<10} {'Avg.Spar.':>10} {'#runs':>12} {'Impr.':>8} " \
+             f"{'Avg.' + metric_name:>10} {metric_name + '.loss':>10}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.method:<10} {100 * r.avg_sparsity:>9.2f}% {r.runs:>12.3e} "
+            f"{r.improvement:>7.2f}x {100 * r.avg_accuracy:>9.2f}% "
+            f"{100 * r.accuracy_loss:>9.2f}%"
+        )
+    return "\n".join(lines)

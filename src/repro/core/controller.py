@@ -1,0 +1,181 @@
+"""Component ②: the RNN-based RL controller.
+
+An RNN (GRU cell) unrolled over the decision sequence predicts, per V/F
+level, (a) which candidate pattern set to bind to that level and (b) which
+K patterns to keep out of the set's m — each decision drawn from a softmax
+head, exactly the NAS-style controller of the paper's reference [30]
+(Zoph & Le).  Parameters are updated with REINFORCE (policy gradient with
+an exponential-moving-average baseline), the "policy gradient method" of
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.patterns import PatternSet
+from repro.core.search_space import PatternSearchSpace
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class ControllerConfig:
+    hidden_size: int = 32
+    lr: float = 5e-3
+    baseline_decay: float = 0.7
+    entropy_weight: float = 1e-2
+    grad_clip: float = 5.0
+    patterns_to_pick: int = 2  # the paper's K
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size < 1:
+            raise ValueError("hidden_size must be positive")
+        if not 0.0 <= self.baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be in [0, 1)")
+        if self.patterns_to_pick < 1:
+            raise ValueError("must pick at least one pattern per set")
+
+
+@dataclass
+class Episode:
+    """One sampled architecture: actions and their log-probabilities."""
+
+    set_choices: Dict[str, int] = field(default_factory=dict)
+    pattern_choices: Dict[str, List[int]] = field(default_factory=dict)
+    log_probs: List[Tensor] = field(default_factory=list)
+    entropies: List[Tensor] = field(default_factory=list)
+
+    def total_log_prob(self) -> Tensor:
+        out = self.log_probs[0]
+        for lp in self.log_probs[1:]:
+            out = F.add(out, lp)
+        return out
+
+
+class GRUCell(Module):
+    """Minimal gated recurrent unit."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0) -> None:
+        super().__init__()
+        self.x2z = Linear(input_size, hidden_size, seed=seed)
+        self.h2z = Linear(hidden_size, hidden_size, seed=seed + 1)
+        self.x2r = Linear(input_size, hidden_size, seed=seed + 2)
+        self.h2r = Linear(hidden_size, hidden_size, seed=seed + 3)
+        self.x2n = Linear(input_size, hidden_size, seed=seed + 4)
+        self.h2n = Linear(hidden_size, hidden_size, seed=seed + 5)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        z = F.sigmoid(F.add(self.x2z(x), self.h2z(h)))
+        r = F.sigmoid(F.add(self.x2r(x), self.h2r(h)))
+        n = F.tanh(F.add(self.x2n(x), self.h2n(F.mul(r, h))))
+        one_minus_z = F.sub(1.0, z)
+        return F.add(F.mul(one_minus_z, n), F.mul(z, h))
+
+
+class RNNController(Module):
+    """Autoregressive controller over the RT3 decision sequence."""
+
+    def __init__(self, space: PatternSearchSpace, cfg: ControllerConfig = ControllerConfig()) -> None:
+        super().__init__()
+        self.space = space
+        self.cfg = cfg
+        self._rng = np.random.default_rng(cfg.seed)
+
+        self.max_choices = max(
+            max(space.num_set_choices(n) for n in space.level_names),
+            max(len(space.get_set(n, 0)) for n in space.level_names),
+        )
+        input_size = self.max_choices + 1  # one-hot of previous action + start token
+        self.cell = GRUCell(input_size, cfg.hidden_size, seed=cfg.seed)
+        self.head = Linear(cfg.hidden_size, self.max_choices, seed=cfg.seed + 50)
+        self.optimizer = Adam(self.parameters(), lr=cfg.lr)
+        self.baseline: Optional[float] = None
+        self.history: List[Tuple[Episode, float]] = []
+
+    # ------------------------------------------------------------------
+    def _one_hot(self, action: int) -> Tensor:
+        v = np.zeros((1, self.max_choices + 1))
+        v[0, action] = 1.0
+        return Tensor(v)
+
+    def _step(self, prev_action: int, h: Tensor, num_valid: int,
+              forbidden: Optional[Sequence[int]] = None
+              ) -> Tuple[int, Tensor, Tensor, Tensor]:
+        """One decision: returns (action, log_prob, entropy, new hidden)."""
+        h = self.cell(self._one_hot(prev_action), h)
+        logits = self.head(h)
+        bias = np.zeros((1, self.max_choices))
+        bias[0, num_valid:] = -1e9
+        for f in forbidden or []:
+            bias[0, f] = -1e9
+        logits = F.add(logits, Tensor(bias))
+        log_p = F.log_softmax(logits, axis=-1)
+        probs = np.exp(log_p.data[0])
+        probs = probs / probs.sum()
+        action = int(self._rng.choice(self.max_choices, p=probs))
+        entropy = F.mul(F.sum(F.mul(F.exp(log_p), log_p)), -1.0)
+        return action, log_p[0, action], entropy, h
+
+    def sample(self) -> Episode:
+        """Sample one episode: a set choice then K pattern choices per level."""
+        episode = Episode()
+        h = Tensor(np.zeros((1, self.cfg.hidden_size)))
+        prev = self.max_choices  # start token
+        for name in self.space.level_names:
+            n_sets = self.space.num_set_choices(name)
+            action, lp, ent, h = self._step(prev, h, n_sets)
+            episode.set_choices[name] = action
+            episode.log_probs.append(lp)
+            episode.entropies.append(ent)
+            prev = action
+
+            chosen_set = self.space.get_set(name, action)
+            k = min(self.cfg.patterns_to_pick, len(chosen_set))
+            picked: List[int] = []
+            for _ in range(k):
+                action, lp, ent, h = self._step(prev, h, len(chosen_set), forbidden=picked)
+                picked.append(action)
+                episode.log_probs.append(lp)
+                episode.entropies.append(ent)
+                prev = action
+            episode.pattern_choices[name] = picked
+        return episode
+
+    # ------------------------------------------------------------------
+    def update(self, episode: Episode, reward: float) -> float:
+        """REINFORCE step; returns the advantage used."""
+        if self.baseline is None:
+            self.baseline = reward
+        advantage = reward - self.baseline
+        self.baseline = (self.cfg.baseline_decay * self.baseline
+                         + (1.0 - self.cfg.baseline_decay) * reward)
+        self.history.append((episode, reward))
+
+        loss = F.mul(episode.total_log_prob(), -advantage)
+        if self.cfg.entropy_weight > 0:
+            total_ent = episode.entropies[0]
+            for e in episode.entropies[1:]:
+                total_ent = F.add(total_ent, e)
+            loss = F.sub(loss, F.mul(total_ent, self.cfg.entropy_weight))
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.parameters(), self.cfg.grad_clip)
+        self.optimizer.step()
+        return advantage
+
+    def decode(self, episode: Episode) -> Dict[str, "PatternSet"]:
+        """Materialize an episode into per-level pattern sets."""
+        out = {}
+        for name in self.space.level_names:
+            full_set = self.space.get_set(name, episode.set_choices[name])
+            picked = full_set.subset(episode.pattern_choices[name])
+            out[name] = picked
+        return out

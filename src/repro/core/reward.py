@@ -1,0 +1,136 @@
+"""Equation (1): the three-case RL reward.
+
+Notation from the paper:
+
+- ``Aw``   weighted accuracy over the N pattern sets: sum_i alpha_i * acc_i
+- ``Ao``   accuracy of the Level-1 backbone model C
+- ``Am``   a pre-set lowest acceptable accuracy
+- ``cond`` True iff accuracies are ordered acc_1 > acc_2 > ... (the model
+           bound to a *higher* V/F level must be the more accurate one;
+           the paper indexes levels from high frequency to low)
+- ``pen``  penalty subtracted when cond is violated
+- ``Rruns``reward for the number of runs, normalized to [0, 1]
+
+    R = -1 + Rruns                          if any lat_i > T
+    R = (Aw - Am)/(Ao - Am) + Rruns         if all lat_i <= T and cond
+    R = (Aw - Am)/(Ao - Am) - pen + Rruns   otherwise
+
+The first case also short-circuits fine-tuning in the search loop (the
+trainer is never invoked for deadline-violating candidates), matching the
+paper's search-cost optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class RewardConfig:
+    """Constants of Eq. (1)."""
+
+    backbone_accuracy: float  # Ao
+    min_accuracy: float  # Am
+    deadline_s: float  # T
+    alpha: Optional[Sequence[float]] = None  # weights of Aw; default uniform
+    penalty: float = 0.3  # pen
+    runs_ref: float = 1.0  # normalizer: runs count mapping to Rruns = 1
+
+    def __post_init__(self) -> None:
+        if self.backbone_accuracy <= self.min_accuracy:
+            raise ValueError("Ao must exceed Am for the reward to be well-scaled")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.runs_ref <= 0:
+            raise ValueError("runs_ref must be positive")
+        if self.penalty < 0:
+            raise ValueError("penalty must be non-negative")
+
+
+@dataclass
+class RewardTerms:
+    """The reward and its decomposition (kept for analysis/Pareto plots)."""
+
+    reward: float
+    runs_reward: float
+    weighted_accuracy: float
+    deadline_met: bool
+    accuracy_ordered: bool
+    latencies_s: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+    total_runs: float = 0.0
+
+
+def _weights(cfg: RewardConfig, n: int) -> List[float]:
+    if cfg.alpha is None:
+        return [1.0 / n] * n
+    if len(cfg.alpha) != n:
+        raise ValueError(f"alpha has {len(cfg.alpha)} entries for {n} levels")
+    total = float(sum(cfg.alpha))
+    if total <= 0:
+        raise ValueError("alpha weights must sum to a positive value")
+    return [a / total for a in cfg.alpha]
+
+
+def accuracy_order_ok(accuracies: Sequence[float]) -> bool:
+    """The paper's cond: acc_i > acc_j for i < j (strictly decreasing).
+
+    Index 0 is the highest V/F level (largest, most accurate sub-model).
+    Ties count as violations, matching the strict inequality in the paper.
+    """
+    return all(accuracies[i] > accuracies[i + 1] for i in range(len(accuracies) - 1))
+
+
+def runs_reward(total_runs: float, runs_ref: float) -> float:
+    """Normalize the number of runs into [0, 1]."""
+    if total_runs < 0:
+        raise ValueError("total_runs cannot be negative")
+    return min(1.0, total_runs / runs_ref)
+
+
+def compute_reward(
+    cfg: RewardConfig,
+    latencies_s: Sequence[float],
+    total_runs: float,
+    accuracies: Optional[Sequence[float]] = None,
+) -> RewardTerms:
+    """Evaluate Eq. (1).
+
+    ``accuracies`` may be None only when a deadline is violated (case 1),
+    because the paper skips fine-tuning in that case.
+    """
+    if not latencies_s:
+        raise ValueError("need at least one level latency")
+    r_runs = runs_reward(total_runs, cfg.runs_ref)
+    deadline_met = all(lat <= cfg.deadline_s for lat in latencies_s)
+
+    if not deadline_met:
+        return RewardTerms(
+            reward=-1.0 + r_runs,
+            runs_reward=r_runs,
+            weighted_accuracy=float("nan"),
+            deadline_met=False,
+            accuracy_ordered=False,
+            latencies_s=list(latencies_s),
+            accuracies=list(accuracies) if accuracies else [],
+            total_runs=total_runs,
+        )
+
+    if accuracies is None or len(accuracies) != len(latencies_s):
+        raise ValueError("accuracies are required once all deadlines are met")
+    weights = _weights(cfg, len(accuracies))
+    aw = float(sum(w * a for w, a in zip(weights, accuracies)))
+    ordered = accuracy_order_ok(accuracies)
+    norm_acc = (aw - cfg.min_accuracy) / (cfg.backbone_accuracy - cfg.min_accuracy)
+    reward = norm_acc + r_runs - (0.0 if ordered else cfg.penalty)
+    return RewardTerms(
+        reward=reward,
+        runs_reward=r_runs,
+        weighted_accuracy=aw,
+        deadline_met=True,
+        accuracy_ordered=ordered,
+        latencies_s=list(latencies_s),
+        accuracies=list(accuracies),
+        total_runs=total_runs,
+    )

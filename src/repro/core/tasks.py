@@ -1,0 +1,114 @@
+"""Task adapters: a uniform train/eval interface over the two model families.
+
+The RT3 trainer and RL loop are agnostic to whether the model is the
+WikiText Transformer (next-word accuracy) or DistilBERT on a GLUE task
+(accuracy / F1 / MCC / Spearman).  A :class:`Task` bundles the model, its
+data and its metric behind ``loss_on(batch)`` and ``evaluate()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import BatchIterator
+from repro.data.glue import SyntheticGlueTask
+from repro.data.metrics import metric_for_task
+from repro.data.wikitext import SyntheticWikiText, make_lm_batches
+from repro.nn.distilbert import DistilBertForSequenceTask
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerLM
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class Task:
+    """Interface consumed by the trainers."""
+
+    model: Module
+    name: str
+
+    def train_batches(self) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        raise NotImplementedError
+
+    def loss_on(self, inputs: np.ndarray, targets: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def evaluate(self) -> float:
+        """Score on the hold-out split, in the task's native metric."""
+        raise NotImplementedError
+
+
+class LMTask(Task):
+    """Next-word prediction on the (synthetic) WikiText-2 corpus."""
+
+    def __init__(self, model: TransformerLM, corpus: SyntheticWikiText,
+                 seq_len: int = 16, batch_size: int = 8,
+                 max_train_batches: Optional[int] = None,
+                 max_eval_batches: Optional[int] = 8) -> None:
+        self.model = model
+        self.corpus = corpus
+        self.seq_len = seq_len
+        self.batch_size = batch_size
+        self.max_train_batches = max_train_batches
+        self.max_eval_batches = max_eval_batches
+        self.name = "wikitext2"
+
+    def train_batches(self):
+        for i, batch in enumerate(self.corpus.batches("train", self.seq_len, self.batch_size)):
+            if self.max_train_batches is not None and i >= self.max_train_batches:
+                break
+            yield batch
+
+    def loss_on(self, inputs: np.ndarray, targets: np.ndarray) -> Tensor:
+        return self.model.loss(Tensor(inputs), Tensor(targets))
+
+    def evaluate(self) -> float:
+        self.model.eval()
+        correct = total = 0
+        for i, (x, y) in enumerate(self.corpus.batches("valid", self.seq_len, self.batch_size)):
+            if self.max_eval_batches is not None and i >= self.max_eval_batches:
+                break
+            with no_grad():
+                logits = self.model(Tensor(x))
+            pred = logits.data.argmax(axis=-1)
+            correct += int((pred == y).sum())
+            total += y.size
+        self.model.train()
+        return correct / total if total else 0.0
+
+
+class GlueTask(Task):
+    """A GLUE task (classification or regression) on DistilBERT."""
+
+    def __init__(self, model: DistilBertForSequenceTask, data: SyntheticGlueTask,
+                 batch_size: int = 16, max_train_batches: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if model.cfg.is_regression != data.is_regression:
+            raise ValueError("model head and task type disagree (regression flag)")
+        self.model = model
+        self.data = data
+        self.batch_size = batch_size
+        self.max_train_batches = max_train_batches
+        self.metric = metric_for_task(data.metric)
+        self.name = data.cfg.task
+        self._iterator = BatchIterator(*data.train, batch_size=batch_size, seed=seed)
+
+    def train_batches(self):
+        for i, batch in enumerate(self._iterator):
+            if self.max_train_batches is not None and i >= self.max_train_batches:
+                break
+            yield batch
+
+    def loss_on(self, inputs: np.ndarray, targets: np.ndarray) -> Tensor:
+        return self.model.loss(Tensor(inputs), Tensor(targets))
+
+    def evaluate(self) -> float:
+        self.model.eval()
+        xs, ys = self.data.eval
+        preds: List[np.ndarray] = []
+        for start in range(0, len(xs), self.batch_size):
+            preds.append(self.model.predict(Tensor(xs[start: start + self.batch_size])))
+        self.model.train()
+        yhat = np.concatenate(preds)
+        return float(self.metric(ys, yhat))

@@ -1,0 +1,176 @@
+"""Component ④: model trainer for the shared backbone (paper Fig. 2).
+
+Joint training: every batch is forwarded once per pattern set; the
+weighted sub-losses are accumulated into a single loss whose backward pass
+updates the *shared* backbone weights.  Because all pattern sets train the
+same weights, run-time reconfiguration later only swaps masks — this is
+what makes RT3's switch three orders of magnitude cheaper than the
+individually-trained upper bound (UB), which needs a full checkpoint per
+V/F level.
+
+``train_individual`` implements UB: clone the backbone, train it through a
+single pattern set, report its accuracy, restore the backbone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.patterns import MaskManager, PatternSet
+from repro.core.tasks import Task
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.tensor import functional as F
+
+
+@dataclass
+class TrainConfig:
+    """Joint/individual training knobs; ``epochs`` is the paper's xi.
+
+    ``pin_backbone_zeros`` uses :class:`repro.nn.masked_optim.MaskedAdam`
+    so positions pruned by the Level-1 backbone stay exactly zero across
+    pattern-set swaps (they never come back; letting them drift would
+    pollute checkpoints).
+    """
+
+    epochs: int = 1
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    refresh_masks_each_epoch: bool = True
+    pin_backbone_zeros: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+
+class JointTrainer:
+    """Trains one backbone through several pattern sets simultaneously."""
+
+    def __init__(self, task: Task, manager: MaskManager,
+                 cfg: TrainConfig = TrainConfig()) -> None:
+        self.task = task
+        self.manager = manager
+        self.cfg = cfg
+
+    def train(self, pattern_sets: Dict[str, PatternSet],
+              alphas: Optional[Sequence[float]] = None) -> List[float]:
+        """Run xi epochs of joint training; returns per-epoch mean losses.
+
+        ``pattern_sets`` maps level name -> pattern set; ``alphas`` are the
+        per-set loss weights of Fig. 2 (default: uniform).
+        """
+        names = list(pattern_sets)
+        if alphas is None:
+            alphas = [1.0 / len(names)] * len(names)
+        if len(alphas) != len(names):
+            raise ValueError("one alpha per pattern set required")
+
+        optimizer = self._make_optimizer()
+        epoch_losses: List[float] = []
+        for _ in range(self.cfg.epochs):
+            # Mask choice depends on current weights (largest-l2 pattern per
+            # block), so refresh the per-set masks at epoch boundaries.
+            masks_by_set = {}
+            for name in names:
+                self.manager.apply(pattern_sets[name])
+                masks_by_set[name] = self.manager.snapshot_masks()
+
+            losses = []
+            for inputs, targets in self.task.train_batches():
+                total = None
+                for name, alpha in zip(names, alphas):
+                    self._install(masks_by_set[name])
+                    sub = F.mul(self.task.loss_on(inputs, targets), alpha)
+                    total = sub if total is None else F.add(total, sub)
+                optimizer.zero_grad()
+                total.backward()
+                clip_grad_norm(self.task.model.parameters(), self.cfg.grad_clip)
+                optimizer.step()
+                losses.append(float(total.data))
+            epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+        return epoch_losses
+
+    def _make_optimizer(self):
+        if self.cfg.pin_backbone_zeros:
+            from repro.nn.masked_optim import MaskedAdam
+
+            return MaskedAdam.for_backbone(self.task.model,
+                                           self.manager.backbone_masks,
+                                           lr=self.cfg.lr)
+        return Adam(self.task.model.parameters(), lr=self.cfg.lr)
+
+    def _install(self, masks: Dict[str, np.ndarray]) -> None:
+        for name, layer in self.manager.layers.items():
+            layer.set_mask(masks[name])
+
+    def accuracies(self, pattern_sets: Dict[str, PatternSet]) -> Dict[str, float]:
+        """Per-level accuracy of the shared backbone (one extra forward)."""
+        return evaluate_with_masks(self.task, self.manager, pattern_sets)
+
+
+def evaluate_with_masks(task: Task, manager: MaskManager,
+                        pattern_sets: Dict[str, PatternSet]) -> Dict[str, float]:
+    """Evaluate the task metric under each pattern set's combined mask."""
+    out = {}
+    for name, pset in pattern_sets.items():
+        manager.apply(pset)
+        out[name] = task.evaluate()
+    manager.clear_patterns()
+    return out
+
+
+def train_plain(task: Task, epochs: int = 1, lr: float = 1e-3,
+                grad_clip: float = 5.0) -> List[float]:
+    """Ordinary training (no pattern sets); used for the original model M
+    and for fine-tuning the Level-1 backbone C."""
+    optimizer = Adam(task.model.parameters(), lr=lr)
+    epoch_losses = []
+    for _ in range(epochs):
+        losses = []
+        for inputs, targets in task.train_batches():
+            loss = task.loss_on(inputs, targets)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(task.model.parameters(), grad_clip)
+            optimizer.step()
+            losses.append(float(loss.data))
+        epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+    return epoch_losses
+
+
+def train_individual(task: Task, manager: MaskManager, pattern_set: PatternSet,
+                     cfg: TrainConfig = TrainConfig()) -> float:
+    """UB: train a dedicated copy through one pattern set, report accuracy.
+
+    The backbone state is snapshotted and fully restored afterwards, so UB
+    evaluation never contaminates the shared model.
+    """
+    snapshot = task.model.state_dict()
+    try:
+        manager.apply(pattern_set)
+        optimizer = Adam(task.model.parameters(), lr=cfg.lr)
+        for _ in range(cfg.epochs):
+            if cfg.refresh_masks_each_epoch:
+                manager.apply(pattern_set)
+            for inputs, targets in self_batches(task):
+                loss = task.loss_on(inputs, targets)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(task.model.parameters(), cfg.grad_clip)
+                optimizer.step()
+        manager.apply(pattern_set)
+        return task.evaluate()
+    finally:
+        task.model.load_state_dict(snapshot)
+        manager.clear_patterns()
+
+
+def self_batches(task: Task):
+    """Indirection point so tests can count batches consumed by UB training."""
+    return task.train_batches()

@@ -1,0 +1,78 @@
+"""Text visualizations for the paper's Fig. 4 (pattern illustrations).
+
+The paper plots the patterns the RL search picked for the three V/F levels
+and observes (a) diverse sparsity across sets and (b) shared structure —
+the same important columns/positions recur across sparsity levels because
+all sets are derived from the same BP-guided importance maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.patterns import Pattern, PatternSet
+
+
+def render_pattern(pattern: Pattern, on: str = "#", off: str = ".") -> str:
+    return pattern.render(on=on, off=off)
+
+
+def render_side_by_side(patterns: Sequence[Pattern], labels: Sequence[str],
+                        gap: str = "   ") -> str:
+    """Several patterns next to each other, like the panels of Fig. 4."""
+    if len(patterns) != len(labels):
+        raise ValueError("one label per pattern")
+    grids = [p.render().splitlines() for p in patterns]
+    height = max(len(g) for g in grids)
+    width = [len(g[0]) for g in grids]
+    header = gap.join(lab.center(w) for lab, w in zip(labels, width))
+    rows = [gap.join(g[i] if i < len(g) else " " * w
+                     for g, w in zip(grids, width)) for i in range(height)]
+    return "\n".join([header, *rows])
+
+
+def shared_positions(a: Pattern, b: Pattern) -> float:
+    """Fraction of the *sparser* pattern's kept positions also kept by the
+    other — the paper's "exactly the same shape" observation quantified.
+
+    1.0 means the sparser pattern is a subset of the denser one.
+    """
+    if a.size != b.size:
+        raise ValueError("patterns must share a size")
+    ka, kb = a.mask.astype(bool), b.mask.astype(bool)
+    sparser, denser = (ka, kb) if ka.sum() <= kb.sum() else (kb, ka)
+    kept = sparser.sum()
+    if kept == 0:
+        return 0.0
+    return float((sparser & denser).sum() / kept)
+
+
+def column_profile(pattern: Pattern) -> np.ndarray:
+    """Per-column kept fraction (the 'column characteristic' of Fig. 4)."""
+    return pattern.mask.mean(axis=0)
+
+
+def column_correlation(a: Pattern, b: Pattern) -> float:
+    """Correlation of the column profiles of two patterns."""
+    pa, pb = column_profile(a), column_profile(b)
+    if np.std(pa) == 0 or np.std(pb) == 0:
+        return 0.0
+    return float(np.corrcoef(pa, pb)[0, 1])
+
+
+def figure4_report(sets_by_level: Dict[str, PatternSet]) -> str:
+    """Render the first pattern of each level's set plus overlap stats."""
+    names = list(sets_by_level)
+    patterns = [sets_by_level[n][0] for n in names]
+    labels = [f"{n} (s={p.sparsity:.0%})" for n, p in zip(names, patterns)]
+    lines = [render_side_by_side(patterns, labels), ""]
+    for i in range(len(names) - 1):
+        a, b = patterns[i], patterns[i + 1]
+        lines.append(
+            f"shared kept positions {names[i]} vs {names[i + 1]}: "
+            f"{shared_positions(a, b):.0%}; column-profile corr "
+            f"{column_correlation(a, b):+.2f}"
+        )
+    return "\n".join(lines)

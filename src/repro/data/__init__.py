@@ -1,0 +1,48 @@
+"""Dataset and metric substrate.
+
+The paper evaluates on WikiText-2 (next-word prediction) and the GLUE
+benchmark (DistilBERT).  Neither corpus is available offline, so this
+package generates deterministic synthetic equivalents:
+
+- :mod:`repro.data.wikitext` — a Markov-chain language corpus over a
+  Zipf-distributed vocabulary, giving a learnable next-word task whose
+  accuracy degrades smoothly with model sparsity (the property the paper's
+  experiments measure).
+- :mod:`repro.data.glue` — generators for all nine GLUE tasks with the
+  paper's metric conventions (accuracy, F1, Matthews correlation,
+  Spearman rho).
+"""
+
+from repro.data.vocab import Vocabulary
+from repro.data.wikitext import WikiTextConfig, SyntheticWikiText, make_lm_batches
+from repro.data.tokenizer import TextCorpus, build_vocab, tokenize
+from repro.data.glue import GLUE_TASKS, GlueTaskConfig, SyntheticGlueTask, make_glue_task
+from repro.data.dataloader import BatchIterator, train_eval_split
+from repro.data.metrics import (
+    accuracy_score,
+    f1_score,
+    matthews_corrcoef,
+    spearman_corr,
+    metric_for_task,
+)
+
+__all__ = [
+    "Vocabulary",
+    "TextCorpus",
+    "build_vocab",
+    "tokenize",
+    "WikiTextConfig",
+    "SyntheticWikiText",
+    "make_lm_batches",
+    "GLUE_TASKS",
+    "GlueTaskConfig",
+    "SyntheticGlueTask",
+    "make_glue_task",
+    "BatchIterator",
+    "train_eval_split",
+    "accuracy_score",
+    "f1_score",
+    "matthews_corrcoef",
+    "spearman_corr",
+    "metric_for_task",
+]

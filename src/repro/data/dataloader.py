@@ -1,0 +1,48 @@
+"""Batching utilities shared by the trainers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class BatchIterator:
+    """Shuffling mini-batch iterator over ``(inputs, labels)`` arrays."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray, batch_size: int,
+                 shuffle: bool = True, seed: Optional[int] = 0) -> None:
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must have the same length")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.inputs = inputs
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.inputs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start: start + self.batch_size]
+            yield self.inputs[idx], self.labels[idx]
+
+    def __len__(self) -> int:
+        return (len(self.inputs) + self.batch_size - 1) // self.batch_size
+
+
+def train_eval_split(inputs: np.ndarray, labels: np.ndarray, eval_fraction: float = 0.2,
+                     seed: int = 0) -> Tuple[Tuple[np.ndarray, np.ndarray],
+                                             Tuple[np.ndarray, np.ndarray]]:
+    """Random split into train / hold-out (the paper fine-tunes on a hold-out)."""
+    if not 0.0 < eval_fraction < 1.0:
+        raise ValueError("eval_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(inputs))
+    n_eval = max(1, int(len(inputs) * eval_fraction))
+    eval_idx, train_idx = order[:n_eval], order[n_eval:]
+    return ((inputs[train_idx], labels[train_idx]),
+            (inputs[eval_idx], labels[eval_idx]))

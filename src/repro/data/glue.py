@@ -1,0 +1,144 @@
+"""Synthetic GLUE benchmark tasks.
+
+The paper reports DistilBERT on all nine GLUE tasks (Fig. 5) and runs the
+RT3 search on RTE and STS-B (Tables III/IV).  GLUE is unavailable offline,
+so each task is generated synthetically with the same *shape*:
+
+- task type matches (single-sentence vs sentence-pair, classification vs
+  regression),
+- the official metric is used (accuracy, F1, MCC, Spearman rho),
+- labels depend on planted token-level signals so the tasks are learnable
+  by a small DistilBERT, and the score degrades smoothly under pruning.
+
+Each example is a token-id sequence starting with a [CLS]-like BOS token;
+sentence pairs are joined with the EOS token as separator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.vocab import Vocabulary, zipf_probs
+
+# task name -> (is_pair, is_regression, num_labels, metric key)
+GLUE_TASKS: Dict[str, Tuple[bool, bool, int, str]] = {
+    "cola": (False, False, 2, "mcc"),
+    "sst2": (False, False, 2, "accuracy"),
+    "mrpc": (True, False, 2, "f1"),
+    "stsb": (True, True, 1, "spearman"),
+    "qqp": (True, False, 2, "f1"),
+    "mnli": (True, False, 3, "accuracy"),
+    "qnli": (True, False, 2, "accuracy"),
+    "rte": (True, False, 2, "accuracy"),
+    "wnli": (True, False, 2, "accuracy"),
+}
+
+
+@dataclass
+class GlueTaskConfig:
+    """Synthetic GLUE task parameters."""
+
+    task: str = "rte"
+    vocab_size: int = 300
+    num_train: int = 256
+    num_eval: int = 128
+    seq_len: int = 24
+    signal_strength: float = 0.85
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.task not in GLUE_TASKS:
+            raise ValueError(f"unknown GLUE task {self.task!r}; choose from {sorted(GLUE_TASKS)}")
+        if not 0.5 <= self.signal_strength <= 1.0:
+            raise ValueError("signal_strength must be in [0.5, 1.0]")
+
+
+class SyntheticGlueTask:
+    """Generator for one GLUE task.
+
+    Classification: ``num_labels`` disjoint sets of "signal" tokens are
+    planted; the label is the signal class whose tokens dominate the
+    example, with ``signal_strength`` controlling label noise.
+    Regression (STS-B): the target is the (noisy) token-overlap similarity
+    of the two sentences scaled to GLUE's [0, 5] range.
+    """
+
+    def __init__(self, cfg: GlueTaskConfig = GlueTaskConfig()) -> None:
+        self.cfg = cfg
+        self.is_pair, self.is_regression, self.num_labels, self.metric = GLUE_TASKS[cfg.task]
+        self.vocab = Vocabulary.synthetic(cfg.vocab_size)
+        self._rng = np.random.default_rng(cfg.seed)
+        usable = np.arange(len(Vocabulary.synthetic(5)._id_to_token) - 1,
+                           cfg.vocab_size)  # skip specials
+        usable = np.arange(4, cfg.vocab_size)
+        self._rng.shuffle(usable)
+        n_signal = max(2, cfg.vocab_size // 20)
+        self.signal_tokens: List[np.ndarray] = [
+            usable[i * n_signal: (i + 1) * n_signal] for i in range(max(self.num_labels, 2))
+        ]
+        self.background = usable[max(self.num_labels, 2) * n_signal:]
+        self.background_probs = zipf_probs(len(self.background))
+        self.train = self._generate(cfg.num_train)
+        self.eval = self._generate(cfg.num_eval)
+
+    # ------------------------------------------------------------------
+    def _sentence(self, length: int, label: int, strength: float) -> np.ndarray:
+        """A sentence whose tokens lean toward signal class ``label``."""
+        sig = self.signal_tokens[label]
+        out = np.empty(length, dtype=np.int64)
+        for i in range(length):
+            if self._rng.random() < strength * 0.5:
+                out[i] = self._rng.choice(sig)
+            else:
+                out[i] = self._rng.choice(self.background, p=self.background_probs)
+        return out
+
+    def _classification_example(self, seq_len: int) -> Tuple[np.ndarray, float]:
+        label = int(self._rng.integers(self.num_labels))
+        effective = label
+        if self._rng.random() > self.cfg.signal_strength:
+            effective = int(self._rng.integers(self.num_labels))  # label noise
+        body_len = seq_len - 1
+        if self.is_pair:
+            half = (body_len - 1) // 2
+            s1 = self._sentence(half, effective, 1.0)
+            s2 = self._sentence(body_len - 1 - half, effective, 1.0)
+            body = np.concatenate([s1, [self.vocab.eos_id], s2])
+        else:
+            body = self._sentence(body_len, effective, 1.0)
+        tokens = np.concatenate([[self.vocab.bos_id], body])
+        return tokens, float(label)
+
+    def _regression_example(self, seq_len: int) -> Tuple[np.ndarray, float]:
+        body_len = seq_len - 2
+        half = body_len // 2
+        s1 = self._sentence(half, 0, 1.0)
+        overlap = self._rng.random()
+        n_copy = int(overlap * half)
+        s2 = s1.copy()[: body_len - half]
+        fresh = self._sentence(body_len - half, 1, 1.0)
+        s2[n_copy:] = fresh[n_copy: len(s2)]
+        tokens = np.concatenate([[self.vocab.bos_id], s1, [self.vocab.eos_id], s2])
+        noise = self._rng.normal(0, 0.02 + 0.2 * (1.0 - self.cfg.signal_strength))
+        target = float(np.clip(overlap + noise, 0.0, 1.0) * 5.0)
+        return tokens, target
+
+    def _generate(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        xs, ys = [], []
+        for _ in range(n):
+            if self.is_regression:
+                x, y = self._regression_example(self.cfg.seq_len)
+            else:
+                x, y = self._classification_example(self.cfg.seq_len)
+            xs.append(x)
+            ys.append(y)
+        labels = np.asarray(ys, dtype=np.float64 if self.is_regression else np.int64)
+        return np.stack(xs), labels
+
+
+def make_glue_task(task: str, **kwargs) -> SyntheticGlueTask:
+    """Convenience constructor: ``make_glue_task('rte', num_train=128)``."""
+    return SyntheticGlueTask(GlueTaskConfig(task=task, **kwargs))

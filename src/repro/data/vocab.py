@@ -1,0 +1,71 @@
+"""Vocabulary with special tokens and Zipfian sampling helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+PAD, UNK, BOS, EOS = "<pad>", "<unk>", "<bos>", "<eos>"
+SPECIAL_TOKENS = [PAD, UNK, BOS, EOS]
+
+
+class Vocabulary:
+    """Bidirectional token <-> id map with the four standard specials."""
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for tok in SPECIAL_TOKENS:
+            self.add(tok)
+        for tok in tokens or []:
+            self.add(tok)
+
+    def add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        unk = self._token_to_id[UNK]
+        return [self._token_to_id.get(t, unk) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        return [self._id_to_token[i] for i in ids]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS]
+
+    @classmethod
+    def synthetic(cls, size: int) -> "Vocabulary":
+        """A vocabulary of ``size`` total entries ('w0', 'w1', ...)."""
+        if size <= len(SPECIAL_TOKENS):
+            raise ValueError(f"vocab size must exceed {len(SPECIAL_TOKENS)}")
+        return cls(f"w{i}" for i in range(size - len(SPECIAL_TOKENS)))
+
+
+def zipf_probs(n: int, alpha: float = 1.1) -> np.ndarray:
+    """Normalized Zipf probabilities over ``n`` ranks (natural-text-like)."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks ** (-alpha)
+    return p / p.sum()

@@ -1,0 +1,28 @@
+"""Deployment artifacts: serialize a searched RT3 configuration.
+
+After the search, what goes to the device is (a) the shared backbone
+weights, (b) the frozen BP masks and (c) one pattern set per V/F level.
+:class:`DeploymentBundle` packages exactly that, round-trips through a
+directory of ``.npz`` + ``.json`` files, and re-installs onto a fresh
+model — including building the :class:`~repro.core.patterns.MaskManager`
+and a :class:`~repro.core.runtime_policy.RuntimeAdapter` for run-time
+switching.
+"""
+
+from repro.deploy.bundle import (
+    DeploymentBundle,
+    LevelBinding,
+    export_bundle,
+    load_bundle,
+    save_state_npz,
+    load_state_npz,
+)
+
+__all__ = [
+    "DeploymentBundle",
+    "LevelBinding",
+    "export_bundle",
+    "load_bundle",
+    "save_state_npz",
+    "load_state_npz",
+]

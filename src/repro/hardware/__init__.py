@@ -1,0 +1,47 @@
+"""Mobile-platform substrate: DVFS, power, latency, battery, runtime.
+
+The paper deploys on an Odroid-XU3 board (ARM Cortex-A7 cluster) and uses
+
+- DVFS with the six voltage/frequency levels of its Table I,
+- battery energy accounting ("number of runs" within an energy budget),
+- a compiler-style latency predictor for pattern-sparse matmuls,
+- run-time reconfiguration (pattern-set swap vs full model reload).
+
+None of that hardware exists offline, so this package models it
+analytically.  The free constants live in :mod:`repro.hardware.calibration`
+and are pinned so the paper-scale Transformer lands near Table II's anchor
+(114.59 ms, 1.53e6 runs at the top V/F level).  Ratios between
+configurations — which is what every experiment compares — follow from the
+physics-shaped model (P ~ C·V²·f, cycles ~ MACs) rather than the anchors.
+"""
+
+from repro.hardware.dvfs import VFLevel, DVFSTable, ODROID_XU3_LEVELS, BatteryGovernor
+from repro.hardware.power import PowerModel
+from repro.hardware.workload import WorkloadProfile, paper_scale_transformer, paper_scale_distilbert
+from repro.hardware.latency import LatencyModel, SparsityKind
+from repro.hardware.battery import Battery
+from repro.hardware.runtime import RuntimeReconfigurator, SwitchStats
+from repro.hardware.energy_sim import EnergySimulator, CampaignResult, ModeAssignment
+from repro.hardware.platform import OdroidXU3
+from repro.hardware import calibration
+
+__all__ = [
+    "VFLevel",
+    "DVFSTable",
+    "ODROID_XU3_LEVELS",
+    "BatteryGovernor",
+    "PowerModel",
+    "WorkloadProfile",
+    "paper_scale_transformer",
+    "paper_scale_distilbert",
+    "LatencyModel",
+    "SparsityKind",
+    "Battery",
+    "RuntimeReconfigurator",
+    "SwitchStats",
+    "EnergySimulator",
+    "CampaignResult",
+    "ModeAssignment",
+    "OdroidXU3",
+    "calibration",
+]

@@ -1,0 +1,70 @@
+"""Free constants of the hardware model and how they were pinned.
+
+The paper reports absolute numbers from a real Odroid-XU3; our model has a
+handful of free constants.  They are chosen so that the *paper-scale*
+Transformer (see :func:`repro.hardware.workload.paper_scale_transformer`)
+reproduces the anchor row of Table II:
+
+- latency 114.59 ms at level l6 (1400 MHz)  ->  :data:`CYCLES_PER_MAC`
+- 1.53e6 runs for approach E1               ->  :data:`BATTERY_BUDGET_J`
+- UB model-reload interrupt ~51.8 s         ->  :data:`OFFCHIP_BANDWIDTH_BPS`
+- RT3 pattern-set swap ~8.75 ms             ->  :data:`SWITCH_OVERHEAD_S`
+
+Everything the experiments *compare* (ratios between pruning methods,
+between DVFS strategies, between switch mechanisms) follows from the
+structure of the model, not from these anchors.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Compute: an in-order A7 core retires a fraction of a MAC per cycle on
+# this model class.  The anchor row of Tables II/IV is the *BP backbone*
+# M1 — 64.26% block-sparse — at 114.59 ms on l6 (1400 MHz); the dense
+# original model is the "No-Opt" row with 1/(1-0.6426) = 2.8x fewer runs.
+# Pinning the BP-sparse latency:
+#   cycles(BP @ 0.6426) = dense_mac_cycles * (0.3574 * 1.005 + 0.01)
+#                       = 0.11459 s * 1.4e9 Hz = 1.604e8
+#   dense_mac_cycles = 4.349e8;  / 1.702e9 MACs = 0.2555
+CYCLES_PER_MAC = 0.2555
+
+# Fixed per-inference cycle overhead (activation functions, softmax, memory
+# stalls) as a fraction of dense MAC cycles; keeps latency from going to
+# zero at extreme sparsity.
+FIXED_OVERHEAD_FRACTION = 0.01
+
+# Per-nonzero penalty of irregular (COO) sparsity relative to dense MACs —
+# index loads break SIMD; the paper's motivation for avoiding it.
+IRREGULAR_OVERHEAD = 2.6
+
+# Pattern-pruning compiler overhead (PatDNN-style code generation): small
+# constant per-block cost for selecting/applying the pattern.
+PATTERN_BLOCK_OVERHEAD_CYCLES = 180.0
+
+# Block pruning keeps full rows/columns, so it is perfectly regular; its
+# only penalty is bookkeeping of kept indices.
+BLOCK_OVERHEAD_FRACTION = 0.005
+
+# ---------------------------------------------------------------------------
+# Power: P = KAPPA_EFF_F * V^2 * f  +  LEAKAGE_W_PER_V * V
+# Pinned to plausible A7 cluster numbers (~0.4 W dynamic at l6).
+KAPPA_EFF_F = 2.0e-10  # effective switched capacitance, farads
+LEAKAGE_W_PER_V = 0.005  # static leakage per volt (A7 cluster is leakage-light)
+
+# ---------------------------------------------------------------------------
+# Battery: pinned so that approach E1 of Table II (the BP backbone M1,
+# always at l6) gets ~1.53e6 runs:
+#   P(l6) = 2e-10 * 1.24^2 * 1.4e9 + 0.005 * 1.24 = 0.4367 W
+#   E_run = 0.4367 W * 0.11459 s = 5.00e-2 J -> budget = 7.66e4 J (~21 Wh)
+BATTERY_BUDGET_J = 7.66e4
+
+# ---------------------------------------------------------------------------
+# Reconfiguration: swapping a *pattern set* moves kilobytes; reloading a
+# *model* moves hundreds of megabytes and re-deserializes it.
+# Effective off-chip reload bandwidth (eMMC + deserialization), pinned so a
+# paper-scale Transformer checkpoint (~287 MB) reloads in ~51.8 s.
+OFFCHIP_BANDWIDTH_BPS = 5.53e6
+# Constant runtime overhead of any switch (scheduler + cache warmup).
+SWITCH_OVERHEAD_S = 5.0e-3
+# Bytes per weight (fp32).
+BYTES_PER_WEIGHT = 4

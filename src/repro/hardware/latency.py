@@ -1,0 +1,154 @@
+"""Latency predictor for dense and sparse transformer inference.
+
+Plays the role of the PatDNN-style compiler predictor the paper uses
+(component ④ "performance predictor"): given a workload, a sparsity and the
+kind of sparsity, predict execution cycles and hence latency at a V/F
+level.  The model captures the qualitative ordering the paper relies on:
+
+- dense is the baseline;
+- block-structured sparsity is almost free to exploit (regular matrices);
+- pattern sparsity adds a small per-block overhead (compiler-generated
+  pattern codes);
+- irregular (COO) sparsity pays a large per-nonzero penalty, which is why
+  the paper avoids it (Challenge 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware import calibration
+from repro.hardware.dvfs import VFLevel
+from repro.hardware.workload import WorkloadProfile
+
+
+class SparsityKind(enum.Enum):
+    """How the zeros are arranged, which dictates exploitable speedup."""
+
+    DENSE = "dense"
+    BLOCK = "block"
+    PATTERN = "pattern"
+    IRREGULAR = "irregular"
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Cycles split into useful MAC work and bookkeeping overhead."""
+
+    mac_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.mac_cycles + self.overhead_cycles
+
+
+class LatencyModel:
+    """Analytic cycle model; all constants from :mod:`calibration`."""
+
+    def __init__(
+        self,
+        cycles_per_mac: float = calibration.CYCLES_PER_MAC,
+        fixed_overhead_fraction: float = calibration.FIXED_OVERHEAD_FRACTION,
+        irregular_overhead: float = calibration.IRREGULAR_OVERHEAD,
+        pattern_block_overhead_cycles: float = calibration.PATTERN_BLOCK_OVERHEAD_CYCLES,
+        block_overhead_fraction: float = calibration.BLOCK_OVERHEAD_FRACTION,
+    ) -> None:
+        if cycles_per_mac <= 0:
+            raise ValueError("cycles_per_mac must be positive")
+        self.cycles_per_mac = cycles_per_mac
+        self.fixed_overhead_fraction = fixed_overhead_fraction
+        self.irregular_overhead = irregular_overhead
+        self.pattern_block_overhead_cycles = pattern_block_overhead_cycles
+        self.block_overhead_fraction = block_overhead_fraction
+
+    # ------------------------------------------------------------------
+    def breakdown(
+        self,
+        workload: WorkloadProfile,
+        sparsity: float = 0.0,
+        kind: SparsityKind = SparsityKind.DENSE,
+        pattern_size: int = 100,
+    ) -> LatencyBreakdown:
+        """Cycle breakdown for one inference of ``workload``."""
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        if kind is SparsityKind.DENSE and sparsity > 0.0:
+            raise ValueError("dense workloads cannot have sparsity")
+
+        dense_mac_cycles = workload.macs * self.cycles_per_mac
+        fixed = dense_mac_cycles * self.fixed_overhead_fraction
+        kept = 1.0 - sparsity
+
+        if kind is SparsityKind.DENSE:
+            return LatencyBreakdown(dense_mac_cycles, fixed)
+        if kind is SparsityKind.BLOCK:
+            mac = dense_mac_cycles * kept
+            return LatencyBreakdown(mac, fixed + mac * self.block_overhead_fraction)
+        if kind is SparsityKind.PATTERN:
+            mac = dense_mac_cycles * kept
+            num_blocks = workload.params / float(pattern_size * pattern_size)
+            return LatencyBreakdown(
+                mac, fixed + num_blocks * self.pattern_block_overhead_cycles
+            )
+        if kind is SparsityKind.IRREGULAR:
+            mac = dense_mac_cycles * kept * self.irregular_overhead
+            return LatencyBreakdown(mac, fixed)
+        raise ValueError(f"unknown sparsity kind {kind!r}")
+
+    def cycles(self, workload: WorkloadProfile, sparsity: float = 0.0,
+               kind: SparsityKind = SparsityKind.DENSE, pattern_size: int = 100) -> float:
+        return self.breakdown(workload, sparsity, kind, pattern_size).total_cycles
+
+    def latency_s(self, workload: WorkloadProfile, level: VFLevel, sparsity: float = 0.0,
+                  kind: SparsityKind = SparsityKind.DENSE, pattern_size: int = 100) -> float:
+        """Wall-clock seconds for one inference at ``level``."""
+        return self.cycles(workload, sparsity, kind, pattern_size) / level.freq_hz
+
+    def latency_ms(self, workload: WorkloadProfile, level: VFLevel, sparsity: float = 0.0,
+                   kind: SparsityKind = SparsityKind.DENSE, pattern_size: int = 100) -> float:
+        return 1e3 * self.latency_s(workload, level, sparsity, kind, pattern_size)
+
+    # ------------------------------------------------------------------
+    def sparsity_for_deadline(
+        self,
+        workload: WorkloadProfile,
+        level: VFLevel,
+        deadline_s: float,
+        kind: SparsityKind = SparsityKind.PATTERN,
+        pattern_size: int = 100,
+    ) -> float:
+        """Minimum sparsity whose latency meets ``deadline_s`` at ``level``.
+
+        This is the inverse model used by the search-space generator
+        (component ③): "given N V/F modes and the timing constraint T,
+        predict the N sparsity ratios nearest to T".  Returns 0.0 if even
+        dense inference meets the deadline; raises if no sparsity < 1 can.
+        """
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.latency_s(workload, level, 0.0, SparsityKind.DENSE) <= deadline_s:
+            return 0.0
+        # Invert: cycles(s) = dense*kept (+ overhead) = deadline * f
+        budget_cycles = deadline_s * level.freq_hz
+        dense_mac_cycles = workload.macs * self.cycles_per_mac
+        fixed = dense_mac_cycles * self.fixed_overhead_fraction
+        if kind is SparsityKind.BLOCK:
+            per_kept = dense_mac_cycles * (1.0 + self.block_overhead_fraction)
+            kept = (budget_cycles - fixed) / per_kept
+        elif kind is SparsityKind.PATTERN:
+            num_blocks = workload.params / float(pattern_size * pattern_size)
+            overhead = fixed + num_blocks * self.pattern_block_overhead_cycles
+            kept = (budget_cycles - overhead) / dense_mac_cycles
+        elif kind is SparsityKind.IRREGULAR:
+            kept = (budget_cycles - fixed) / (dense_mac_cycles * self.irregular_overhead)
+        else:
+            raise ValueError("cannot sparsify a dense workload")
+        if kept <= 0.0:
+            raise ValueError(
+                f"deadline {deadline_s * 1e3:.1f} ms unreachable at {level.name} "
+                f"(fixed overhead alone exceeds the budget)"
+            )
+        sparsity = 1.0 - kept
+        return max(0.0, min(sparsity, 0.999))

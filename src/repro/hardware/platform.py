@@ -1,0 +1,53 @@
+"""The Odroid-XU3 target platform: one object bundling all hardware models."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hardware.battery import Battery
+from repro.hardware.dvfs import BatteryGovernor, DVFSTable, ODROID_XU3_LEVELS
+from repro.hardware.energy_sim import EnergySimulator
+from repro.hardware.latency import LatencyModel
+from repro.hardware.power import PowerModel
+from repro.hardware.runtime import RuntimeReconfigurator
+from repro.hardware.workload import WorkloadProfile
+
+
+class OdroidXU3:
+    """The paper's evaluation board (their ref [35]).
+
+    Bundles the DVFS table (Table I), power model, latency predictor,
+    battery and reconfigurator with the paper's defaults, and builds
+    :class:`EnergySimulator` instances for a chosen level subset.
+    """
+
+    def __init__(self) -> None:
+        self.dvfs = DVFSTable(ODROID_XU3_LEVELS)
+        self.power = PowerModel()
+        self.latency = LatencyModel()
+        self.reconfigurator = RuntimeReconfigurator()
+
+    def battery(self) -> Battery:
+        return Battery()
+
+    def simulator(
+        self,
+        workload: WorkloadProfile,
+        level_names: Sequence[str] = ("l3", "l4", "l6"),
+        thresholds: Optional[Sequence[float]] = None,
+        pattern_size: int = 100,
+    ) -> EnergySimulator:
+        """Simulator over a level subset (paper default {l3, l4, l6})."""
+        table = self.dvfs.subset(level_names)
+        governor = None
+        if thresholds is not None:
+            governor = BatteryGovernor(table, thresholds)
+        return EnergySimulator(
+            workload,
+            table,
+            governor=governor,
+            power=self.power,
+            latency=self.latency,
+            reconfigurator=self.reconfigurator,
+            pattern_size=pattern_size,
+        )

@@ -1,0 +1,87 @@
+"""Run-time reconfiguration cost model.
+
+The paper's headline systems argument (Table III "Interrupt" row): switching
+the *software* configuration must be cheap enough to follow DVFS changes.
+
+- The upper-bound approach (UB) trains one model per V/F level, so a switch
+  reloads an entire checkpoint from off-chip storage — tens of seconds.
+- RT3 keeps a fixed backbone and swaps only the *pattern set* — kilobytes —
+  so a switch costs milliseconds ("within 45 ms", >1000x faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import calibration
+from repro.hardware.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class SwitchStats:
+    """Cost of one reconfiguration event."""
+
+    bytes_moved: float
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class RuntimeReconfigurator:
+    """Predicts switch cost for pattern-set swap vs full model reload."""
+
+    def __init__(self, bandwidth_bps: float = calibration.OFFCHIP_BANDWIDTH_BPS,
+                 overhead_s: float = calibration.SWITCH_OVERHEAD_S) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if overhead_s < 0:
+            raise ValueError("overhead cannot be negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.overhead_s = overhead_s
+
+    # ------------------------------------------------------------------
+    def pattern_set_bytes(self, workload: WorkloadProfile, num_patterns: int,
+                          pattern_size: int = 100) -> float:
+        """Bytes to swap in one pattern set.
+
+        A pattern is a ``psize x psize`` bitmask (psize²/8 bytes); each of
+        the workload's blocks also stores a 2-byte id of its chosen pattern.
+        """
+        if num_patterns < 1:
+            raise ValueError("a pattern set needs at least one pattern")
+        mask_bytes = num_patterns * pattern_size * pattern_size / 8.0
+        num_blocks = workload.params / float(pattern_size * pattern_size)
+        id_bytes = 2.0 * num_blocks
+        return mask_bytes + id_bytes
+
+    def pattern_switch(self, workload: WorkloadProfile, num_patterns: int,
+                       pattern_size: int = 100) -> SwitchStats:
+        """RT3's lightweight switch: move masks + ids, keep the backbone."""
+        nbytes = self.pattern_set_bytes(workload, num_patterns, pattern_size)
+        return SwitchStats(nbytes, self.overhead_s + nbytes / self.bandwidth_bps)
+
+    def model_reload(self, workload: WorkloadProfile, sparsity: float = 0.0) -> SwitchStats:
+        """UB's heavyweight switch: reload a full checkpoint from off-chip.
+
+        A sparse checkpoint still stores per-nonzero indices, so the reload
+        size shrinks sub-linearly with sparsity (factor 1.5 per kept weight
+        for value+index, matching CSR-style storage).
+        """
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        dense_bytes = workload.model_bytes
+        if sparsity == 0.0:
+            nbytes = float(dense_bytes)
+        else:
+            kept = 1.0 - sparsity
+            nbytes = dense_bytes * kept * 1.5
+        return SwitchStats(nbytes, self.overhead_s + nbytes / self.bandwidth_bps)
+
+    def speedup(self, workload: WorkloadProfile, num_patterns: int,
+                pattern_size: int = 100) -> float:
+        """How much faster the RT3 switch is than a model reload."""
+        ub = self.model_reload(workload)
+        rt3 = self.pattern_switch(workload, num_patterns, pattern_size)
+        return ub.seconds / rt3.seconds

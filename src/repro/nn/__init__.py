@@ -1,0 +1,60 @@
+"""Neural-network layers, models and optimizers on :mod:`repro.tensor`.
+
+Provides the model substrate the paper runs on: a torch-like ``Module``
+system, the standard transformer building blocks, the paper's two model
+families (a small encoder-decoder ``TransformerLM`` with 2 encoder and
+1 decoder layers, and ``DistilBert*`` with 6 encoder layers), plus SGD /
+Adam optimizers and LR schedulers.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout, Sequential, ReLU, GELU, Tanh
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import (
+    TransformerConfig,
+    TransformerEncoderLayer,
+    TransformerDecoderLayer,
+    TransformerLM,
+)
+from repro.nn.distilbert import DistilBertConfig, DistilBertModel, DistilBertForSequenceTask
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.masked_optim import MaskedAdam
+from repro.nn.lr_scheduler import ConstantLR, LinearWarmupDecay, StepLR
+from repro.nn.generation import GenerationResult, generate, generate_with_deadline
+from repro.nn.training import FitConfig, TrainingHistory, fit
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "MultiHeadAttention",
+    "TransformerConfig",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerLM",
+    "DistilBertConfig",
+    "DistilBertModel",
+    "DistilBertForSequenceTask",
+    "SGD",
+    "Adam",
+    "MaskedAdam",
+    "Optimizer",
+    "clip_grad_norm",
+    "ConstantLR",
+    "LinearWarmupDecay",
+    "StepLR",
+    "GenerationResult",
+    "generate",
+    "generate_with_deadline",
+    "FitConfig",
+    "TrainingHistory",
+    "fit",
+]

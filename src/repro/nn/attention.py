@@ -1,0 +1,82 @@
+"""Multi-head scaled dot-product attention."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention with separate q/k/v/out projections.
+
+    The four ``Linear`` projections are the prunable weights targeted by
+    RT3's block-structured and pattern pruning (the paper visualizes the
+    self-attention layer of the first encoder in Fig. 4).
+    """
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        base = 0 if seed is None else seed
+        self.q_proj = Linear(dim, dim, seed=base + 1 if seed is not None else None)
+        self.k_proj = Linear(dim, dim, seed=base + 2 if seed is not None else None)
+        self.v_proj = Linear(dim, dim, seed=base + 3 if seed is not None else None)
+        self.out_proj = Linear(dim, dim, seed=base + 4 if seed is not None else None)
+        self.attn_dropout = Dropout(dropout, seed=seed)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        x = F.reshape(x, (batch, length, self.num_heads, self.head_dim))
+        return F.transpose(x, (0, 2, 1, 3))  # (B, H, L, Dh)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, head_dim = x.shape
+        x = F.transpose(x, (0, 2, 1, 3))
+        return F.reshape(x, (batch, length, heads * head_dim))
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Attend ``query`` over ``key``/``value`` (defaults: self-attention).
+
+        ``attn_mask`` is a boolean ndarray broadcastable to
+        ``(B, H, Lq, Lk)``; ``True`` marks positions to block.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2)))
+        scores = F.mul(scores, 1.0 / math.sqrt(self.head_dim))
+        if attn_mask is not None:
+            scores = F.masked_fill(scores, attn_mask, NEG_INF)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = F.matmul(weights, v)
+        return self.out_proj(self._merge_heads(context))
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Upper-triangular boolean mask blocking attention to future tokens."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)

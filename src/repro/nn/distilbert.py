@@ -1,0 +1,129 @@
+"""DistilBERT-style encoder for GLUE tasks.
+
+The paper evaluates DistilBERT (6 encoder layers, H=768, A=12) on the GLUE
+benchmark.  We reproduce the architecture — learned positional embeddings,
+post-norm encoder blocks with GELU FFNs, a [CLS] pooler and a task head —
+with configurable width so the experiments stay laptop-scale while the
+pruning surface (the six weight matrices per layer) is identical in kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass
+class DistilBertConfig:
+    """DistilBERT hyper-parameters (paper scale: dim=768, heads=12, layers=6)."""
+
+    vocab_size: int = 300
+    dim: int = 48
+    num_heads: int = 4
+    ffn_dim: int = 96
+    num_layers: int = 6
+    max_len: int = 64
+    dropout: float = 0.1
+    num_labels: int = 2
+    is_regression: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+
+
+class DistilBertLayer(Module):
+    """Post-norm encoder block (attention -> norm -> GELU FFN -> norm)."""
+
+    def __init__(self, cfg: DistilBertConfig, seed: int) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(cfg.dim, cfg.num_heads, cfg.dropout, seed=seed)
+        self.fc1 = Linear(cfg.dim, cfg.ffn_dim, seed=seed + 20)
+        self.fc2 = Linear(cfg.ffn_dim, cfg.dim, seed=seed + 21)
+        self.norm1 = LayerNorm(cfg.dim)
+        self.norm2 = LayerNorm(cfg.dim)
+        self.drop = Dropout(cfg.dropout, seed=seed)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        attn = self.attention(x, attn_mask=attn_mask)
+        x = self.norm1(F.add(x, self.drop(attn)))
+        ffn = self.fc2(self.drop(F.gelu(self.fc1(x))))
+        return self.norm2(F.add(x, self.drop(ffn)))
+
+
+class DistilBertModel(Module):
+    """Embedding + N encoder layers; returns the full hidden sequence."""
+
+    def __init__(self, cfg: Optional[DistilBertConfig] = None) -> None:
+        super().__init__()
+        self.cfg = cfg or DistilBertConfig()
+        cfg = self.cfg
+        self.tok_embed = Embedding(cfg.vocab_size, cfg.dim, seed=cfg.seed)
+        self.pos_embed = Embedding(cfg.max_len, cfg.dim, seed=cfg.seed + 1)
+        self.embed_norm = LayerNorm(cfg.dim)
+        self.drop = Dropout(cfg.dropout, seed=cfg.seed)
+        self.layers = ModuleList(
+            [DistilBertLayer(cfg, seed=cfg.seed + 100 * (i + 1)) for i in range(cfg.num_layers)]
+        )
+
+    def forward(self, tokens, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        arr = tokens.data if isinstance(tokens, Tensor) else np.asarray(tokens)
+        length = arr.shape[-1]
+        if length > self.cfg.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len {self.cfg.max_len}")
+        positions = np.broadcast_to(np.arange(length), arr.shape)
+        x = F.add(self.tok_embed(tokens), self.pos_embed(Tensor(positions)))
+        x = self.drop(self.embed_norm(x))
+        for layer in self.layers:
+            x = layer(x, attn_mask=attn_mask)
+        return x
+
+
+class DistilBertForSequenceTask(Module):
+    """DistilBERT with a pooled classification or regression head.
+
+    Covers all nine GLUE tasks: classification heads for SST-2/QNLI/RTE/
+    WNLI/CoLA/MRPC/QQP/MNLI and a single-output regression head for STS-B.
+    """
+
+    def __init__(self, cfg: Optional[DistilBertConfig] = None) -> None:
+        super().__init__()
+        self.cfg = cfg or DistilBertConfig()
+        cfg = self.cfg
+        self.bert = DistilBertModel(cfg)
+        self.pre_classifier = Linear(cfg.dim, cfg.dim, seed=cfg.seed + 2)
+        out_dim = 1 if cfg.is_regression else cfg.num_labels
+        self.classifier = Linear(cfg.dim, out_dim, seed=cfg.seed + 3)
+        self.drop = Dropout(cfg.dropout, seed=cfg.seed)
+
+    def forward(self, tokens, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        hidden = self.bert(tokens, attn_mask=attn_mask)
+        cls = hidden[:, 0]  # first token acts as [CLS]
+        pooled = F.relu(self.pre_classifier(cls))
+        logits = self.classifier(self.drop(pooled))
+        if self.cfg.is_regression:
+            logits = F.reshape(logits, (logits.shape[0],))
+        return logits
+
+    def loss(self, tokens, targets) -> Tensor:
+        logits = self.forward(tokens)
+        if self.cfg.is_regression:
+            return F.mse_loss(logits, targets)
+        return F.cross_entropy(logits, targets)
+
+    def predict(self, tokens) -> np.ndarray:
+        """Class indices (classification) or raw scores (regression)."""
+        with no_grad():
+            logits = self.forward(tokens)
+        if self.cfg.is_regression:
+            return logits.data
+        return logits.data.argmax(axis=-1)

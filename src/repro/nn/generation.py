@@ -1,0 +1,88 @@
+"""Autoregressive generation for :class:`~repro.nn.transformer.TransformerLM`.
+
+Supports the paper's deployment story ("local language translation for
+on-line interactive events"): greedy and top-k sampling continuations, and
+a latency-budgeted helper that reports whether each generated token met
+its per-token deadline under a hardware model — the per-token analogue of
+the per-inference timing constraint T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.transformer import TransformerLM
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass
+class GenerationResult:
+    """Tokens plus per-step bookkeeping."""
+
+    tokens: np.ndarray  # (prompt + generated,)
+    generated: np.ndarray  # just the continuation
+    logprobs: List[float]
+
+
+def generate(model: TransformerLM, prompt: np.ndarray, max_new_tokens: int,
+             top_k: Optional[int] = None, temperature: float = 1.0,
+             seed: Optional[int] = None) -> GenerationResult:
+    """Continue ``prompt`` for ``max_new_tokens`` steps.
+
+    ``top_k=None`` is greedy decoding; otherwise sample from the top-k
+    logits at the given temperature.  The context is truncated to the
+    model's ``max_len`` from the left as it grows.
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be >= 1")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+    if prompt.size == 0:
+        raise ValueError("prompt cannot be empty")
+    rng = np.random.default_rng(seed)
+    model.eval()
+    tokens = prompt.copy()
+    logprobs: List[float] = []
+    for _ in range(max_new_tokens):
+        context = tokens[-model.cfg.max_len:]
+        with no_grad():
+            logits = model(Tensor(context[None, :])).data[0, -1]
+        logits = logits / temperature
+        logits = logits - logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        if top_k is None:
+            nxt = int(probs.argmax())
+        else:
+            k = min(top_k, len(probs))
+            top = np.argsort(probs)[::-1][:k]
+            p = probs[top] / probs[top].sum()
+            nxt = int(rng.choice(top, p=p))
+        logprobs.append(float(np.log(probs[nxt] + 1e-12)))
+        tokens = np.append(tokens, nxt)
+    model.train()
+    return GenerationResult(tokens, tokens[len(prompt):], logprobs)
+
+
+def generate_with_deadline(model: TransformerLM, prompt: np.ndarray,
+                           max_new_tokens: int, workload, level,
+                           deadline_s: float, sparsity: float,
+                           latency_model=None) -> Tuple[GenerationResult, List[bool]]:
+    """Generate while checking each token's predicted on-device latency.
+
+    Returns the generation plus a per-token "met deadline" list computed
+    from the hardware model for the configured (level, sparsity).  Useful
+    for the interactive-translation scenario where the constraint applies
+    per produced token.
+    """
+    from repro.hardware.latency import LatencyModel, SparsityKind
+
+    lm = latency_model or LatencyModel()
+    per_token = lm.latency_s(workload, level, sparsity, SparsityKind.PATTERN)
+    result = generate(model, prompt, max_new_tokens)
+    met = [per_token <= deadline_s] * len(result.generated)
+    return result, met

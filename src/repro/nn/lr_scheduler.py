@@ -1,0 +1,58 @@
+"""Learning-rate schedules used during backbone and joint training."""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count += 1
+        self.optimizer.lr = self.get_lr(self.step_count)
+        return self.optimizer.lr
+
+    def get_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """No-op schedule; keeps the base LR."""
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class LinearWarmupDecay(_Scheduler):
+    """Linear warmup to base LR, then linear decay to zero at ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = max(1, warmup_steps)
+        self.total_steps = total_steps
+
+    def get_lr(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        return self.base_lr * remaining / (self.total_steps - self.warmup_steps)

@@ -1,0 +1,72 @@
+"""Mask-aware optimization.
+
+A subtlety real pruning systems must handle: with plain Adam/SGD, a masked
+weight still drifts — weight decay pulls it, momentum/moment estimates
+remember pre-pruning gradients, and after enough steps the *stored* value
+under the mask can grow arbitrarily.  That is harmless while the mask is
+fixed (the forward multiplies by zero) but poisonous for RT3, where
+pattern sets are *swapped*: a position masked under set A may be live
+under set B, and its stored value should reflect training signal, not
+decay artifacts.
+
+:class:`MaskedAdam` therefore zeroes the gradient, both moment estimates
+and the decay contribution at positions masked by the *backbone* (which
+never come back), while leaving pattern-masked positions free to keep
+learning through the sets that expose them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam
+
+
+class MaskedAdam(Adam):
+    """Adam that freezes permanently-pruned (backbone-masked) positions.
+
+    ``freeze_masks`` maps parameters (by identity) to 0/1 arrays; zeros are
+    frozen: their gradients and moments are cleared each step, and the
+    stored weight is pinned to exactly 0.0 so checkpoints stay clean.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0,
+                 freeze_masks: Optional[Dict[int, np.ndarray]] = None) -> None:
+        super().__init__(params, lr, betas, eps, weight_decay)
+        self.freeze_masks: Dict[int, np.ndarray] = {}
+        for key, mask in (freeze_masks or {}).items():
+            self.freeze_masks[key] = np.asarray(mask, dtype=np.float64)
+
+    @classmethod
+    def for_backbone(cls, model, backbone_masks: Dict[str, np.ndarray],
+                     **kwargs) -> "MaskedAdam":
+        """Build from a model and its named backbone masks."""
+        from repro.nn.layers import prunable_linears
+
+        layers = prunable_linears(model)
+        freeze = {}
+        for name, layer in layers.items():
+            if name in backbone_masks:
+                freeze[id(layer.weight)] = backbone_masks[name]
+        return cls(model.parameters(), freeze_masks=freeze, **kwargs)
+
+    def step(self) -> None:
+        # Clear frozen gradients *before* the Adam update so moments never
+        # accumulate signal at dead positions.
+        for p in self.params:
+            mask = self.freeze_masks.get(id(p))
+            if mask is not None and p.grad is not None:
+                p.grad *= mask
+        super().step()
+        # Pin dead positions to zero and scrub their moments.
+        for p, m, v in zip(self.params, self._m, self._v):
+            mask = self.freeze_masks.get(id(p))
+            if mask is not None:
+                p.data *= mask
+                m *= mask
+                v *= mask

@@ -1,0 +1,172 @@
+"""Encoder-decoder Transformer language model.
+
+Matches the paper's Transformer baseline: "two encoder and one decoder
+layers" used for next-word prediction on WikiText-2.  Dimensions are
+configurable; tests default to small widths while the structure (q/k/v/out
+projections, two FFN matrices per layer) is faithful, which is what the
+pruning code paths care about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class TransformerConfig:
+    """Hyper-parameters of :class:`TransformerLM`.
+
+    The paper's model uses 2 encoder layers and 1 decoder layer.  ``dim``
+    and ``ffn_dim`` default to laptop-scale values; the paper-scale widths
+    (weights up to 28785x800) are reachable by passing larger values.
+    """
+
+    vocab_size: int = 200
+    dim: int = 64
+    num_heads: int = 4
+    ffn_dim: int = 128
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 1
+    max_len: int = 128
+    dropout: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+
+
+def positional_encoding(max_len: int, dim: int) -> np.ndarray:
+    """Sinusoidal positional encodings (Vaswani et al.)."""
+    position = np.arange(max_len)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-math.log(10000.0) / dim))
+    pe = np.zeros((max_len, dim))
+    pe[:, 0::2] = np.sin(position * div)
+    pe[:, 1::2] = np.cos(position * div[: (dim + 1) // 2])
+    return pe
+
+
+class FeedForward(Module):
+    """Two-layer position-wise FFN with ReLU."""
+
+    def __init__(self, dim: int, ffn_dim: int, dropout: float, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, ffn_dim, seed=seed)
+        self.fc2 = Linear(ffn_dim, dim, seed=None if seed is None else seed + 1)
+        self.drop = Dropout(dropout, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.drop(F.relu(self.fc1(x))))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder block: self-attention + FFN with residuals."""
+
+    def __init__(self, cfg: TransformerConfig, seed: int) -> None:
+        super().__init__()
+        self.self_attn = MultiHeadAttention(cfg.dim, cfg.num_heads, cfg.dropout, seed=seed)
+        self.ffn = FeedForward(cfg.dim, cfg.ffn_dim, cfg.dropout, seed=seed + 10)
+        self.norm1 = LayerNorm(cfg.dim)
+        self.norm2 = LayerNorm(cfg.dim)
+        self.drop = Dropout(cfg.dropout, seed=seed)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = F.add(x, self.drop(self.self_attn(self.norm1(x), attn_mask=attn_mask)))
+        x = F.add(x, self.drop(self.ffn(self.norm2(x))))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm decoder block: causal self-attention, cross-attention, FFN."""
+
+    def __init__(self, cfg: TransformerConfig, seed: int) -> None:
+        super().__init__()
+        self.self_attn = MultiHeadAttention(cfg.dim, cfg.num_heads, cfg.dropout, seed=seed)
+        self.cross_attn = MultiHeadAttention(cfg.dim, cfg.num_heads, cfg.dropout, seed=seed + 5)
+        self.ffn = FeedForward(cfg.dim, cfg.ffn_dim, cfg.dropout, seed=seed + 10)
+        self.norm1 = LayerNorm(cfg.dim)
+        self.norm2 = LayerNorm(cfg.dim)
+        self.norm3 = LayerNorm(cfg.dim)
+        self.drop = Dropout(cfg.dropout, seed=seed)
+
+    def forward(self, x: Tensor, memory: Tensor,
+                self_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = F.add(x, self.drop(self.self_attn(self.norm1(x), attn_mask=self_mask)))
+        x = F.add(x, self.drop(self.cross_attn(self.norm2(x), key=memory)))
+        x = F.add(x, self.drop(self.ffn(self.norm3(x))))
+        return x
+
+
+class TransformerLM(Module):
+    """Encoder-decoder LM for next-word prediction.
+
+    ``forward(tokens)`` runs the encoder over the sequence and the decoder
+    causally over the same sequence (teacher forcing), returning logits of
+    shape ``(B, L, V)`` for predicting the *next* token at each position.
+    """
+
+    def __init__(self, cfg: Optional[TransformerConfig] = None) -> None:
+        super().__init__()
+        self.cfg = cfg or TransformerConfig()
+        cfg = self.cfg
+        self.embed = Embedding(cfg.vocab_size, cfg.dim, seed=cfg.seed)
+        self.pos = positional_encoding(cfg.max_len, cfg.dim)
+        self.drop = Dropout(cfg.dropout, seed=cfg.seed)
+        self.encoder = ModuleList(
+            [TransformerEncoderLayer(cfg, seed=cfg.seed + 100 * (i + 1))
+             for i in range(cfg.num_encoder_layers)]
+        )
+        self.decoder = ModuleList(
+            [TransformerDecoderLayer(cfg, seed=cfg.seed + 1000 * (i + 1))
+             for i in range(cfg.num_decoder_layers)]
+        )
+        self.final_norm = LayerNorm(cfg.dim)
+        self.lm_head = Linear(cfg.dim, cfg.vocab_size, seed=cfg.seed + 7)
+
+    def _embed(self, tokens) -> Tensor:
+        length = np.asarray(tokens.data if isinstance(tokens, Tensor) else tokens).shape[-1]
+        if length > self.cfg.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len {self.cfg.max_len}")
+        x = self.embed(tokens)
+        x = F.add(x, Tensor(self.pos[:length]))
+        return self.drop(x)
+
+    def encode(self, tokens) -> Tensor:
+        x = self._embed(tokens)
+        for layer in self.encoder:
+            x = layer(x)
+        return x
+
+    def forward(self, tokens) -> Tensor:
+        memory = self.encode(tokens)
+        length = memory.shape[1]
+        mask = causal_mask(length)
+        x = self._embed(tokens)
+        for layer in self.decoder:
+            x = layer(x, memory, self_mask=mask)
+        return self.lm_head(self.final_norm(x))
+
+    def loss(self, tokens, targets) -> Tensor:
+        """Mean cross-entropy of next-token prediction."""
+        logits = self.forward(tokens)
+        return F.cross_entropy(logits, targets)
+
+    def accuracy(self, tokens, targets) -> float:
+        """Top-1 next-word prediction accuracy (the paper's LM metric)."""
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(tokens)
+        pred = logits.data.argmax(axis=-1)
+        tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return float((pred == tgt).mean())

@@ -1,0 +1,49 @@
+"""Executable sparse formats and kernels.
+
+The latency model in :mod:`repro.hardware` *predicts* how block/pattern/COO
+sparsity execute on the target; this package makes those execution
+strategies concrete and testable:
+
+- :mod:`repro.sparse.formats` — COO, block-compressed (BP's kept-group
+  layout) and pattern-indexed storage with exact byte accounting and
+  dense round-trips;
+- :mod:`repro.sparse.kernels` — matmul kernels for each format whose
+  operation counts (:class:`OpCounter`) realize the cost ordering the
+  paper argues for: block ≈ pattern ≪ irregular, and whose outputs match
+  the dense reference exactly.
+"""
+
+from repro.sparse.formats import (
+    COOMatrix,
+    BlockCompressedMatrix,
+    PatternIndexedMatrix,
+    from_dense_coo,
+    from_dense_block,
+    from_dense_pattern,
+)
+from repro.sparse.kernels import (
+    OpCounter,
+    dense_matmul,
+    coo_matmul,
+    block_matmul,
+    pattern_matmul,
+)
+from repro.sparse.executor import SparseExecutor, ModelAudit, LayerAudit, compare_formats
+
+__all__ = [
+    "COOMatrix",
+    "BlockCompressedMatrix",
+    "PatternIndexedMatrix",
+    "from_dense_coo",
+    "from_dense_block",
+    "from_dense_pattern",
+    "OpCounter",
+    "dense_matmul",
+    "coo_matmul",
+    "block_matmul",
+    "pattern_matmul",
+    "SparseExecutor",
+    "ModelAudit",
+    "LayerAudit",
+    "compare_formats",
+]

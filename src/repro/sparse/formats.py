@@ -1,0 +1,188 @@
+"""Sparse storage formats with exact byte accounting.
+
+Three layouts, matching the storage options the paper discusses:
+
+- :class:`COOMatrix` — irregular pruning's format: three parallel vectors
+  (row, col, data).  Flexible but index-heavy: 2 coordinates per nonzero.
+- :class:`BlockCompressedMatrix` — BP's format: the matrix is split into
+  row-wise blocks; each block stores the indices of its *kept columns*
+  once, plus a dense (rows x kept) payload.  Indices per kept group, not
+  per nonzero — the paper's Section III-B memory argument.
+- :class:`PatternIndexedMatrix` — PP's format: a shared library of
+  ``psize x psize`` bitmasks plus one pattern id per tile and the packed
+  nonzero values per tile.
+
+Every format converts losslessly back to dense (tested), and reports its
+storage footprint via ``nbytes()`` so the formats can be compared at equal
+sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+VALUE_BYTES = 4  # fp32 payloads on device
+COORD_BYTES = 4  # 32-bit coordinates
+GROUP_INDEX_BYTES = 2  # 16-bit kept-column indices (dims < 65536)
+PATTERN_ID_BYTES = 2
+
+
+@dataclass
+class COOMatrix:
+    """Coordinate-format sparse matrix (row, col, data vectors)."""
+
+    shape: Tuple[int, int]
+    row: np.ndarray
+    col: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.row) == len(self.col) == len(self.data)):
+            raise ValueError("row/col/data must have equal lengths")
+        if len(self.row) and (self.row.max() >= self.shape[0]
+                              or self.col.max() >= self.shape[1]):
+            raise ValueError("coordinates out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def nbytes(self) -> int:
+        return self.nnz * (VALUE_BYTES + 2 * COORD_BYTES)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        out[self.row, self.col] = self.data
+        return out
+
+
+@dataclass
+class BlockCompressedMatrix:
+    """BP's layout: per row-block, kept-column indices + dense payload."""
+
+    shape: Tuple[int, int]
+    block_bounds: List[Tuple[int, int]]
+    kept_cols: List[np.ndarray]  # per block: sorted kept column indices
+    payloads: List[np.ndarray]  # per block: (block_rows, len(kept_cols))
+
+    def __post_init__(self) -> None:
+        if not (len(self.block_bounds) == len(self.kept_cols) == len(self.payloads)):
+            raise ValueError("per-block lists must align")
+        for (lo, hi), cols, payload in zip(self.block_bounds, self.kept_cols,
+                                           self.payloads):
+            if payload.shape != (hi - lo, len(cols)):
+                raise ValueError("payload shape mismatch")
+
+    @property
+    def nnz(self) -> int:
+        return sum(p.size for p in self.payloads)
+
+    def nbytes(self) -> int:
+        values = self.nnz * VALUE_BYTES
+        indices = sum(len(c) for c in self.kept_cols) * GROUP_INDEX_BYTES
+        return values + indices
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for (lo, hi), cols, payload in zip(self.block_bounds, self.kept_cols,
+                                           self.payloads):
+            out[lo:hi, cols] = payload
+        return out
+
+
+@dataclass
+class PatternIndexedMatrix:
+    """PP's layout: shared pattern bitmasks + per-tile (id, packed values)."""
+
+    shape: Tuple[int, int]
+    pattern_size: int
+    patterns: np.ndarray  # (P, psize, psize) binary
+    tile_ids: np.ndarray  # (n_row, n_col) int
+    tile_values: List[np.ndarray]  # row-major per tile: packed kept values
+
+    def __post_init__(self) -> None:
+        if self.tile_ids.size != len(self.tile_values):
+            raise ValueError("one value vector per tile required")
+        if self.tile_ids.size and self.tile_ids.max() >= len(self.patterns):
+            raise ValueError("tile id out of range")
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(v) for v in self.tile_values)
+
+    def nbytes(self, include_patterns: bool = True) -> int:
+        values = self.nnz * VALUE_BYTES
+        ids = self.tile_ids.size * PATTERN_ID_BYTES
+        masks = (self.patterns.size / 8) if include_patterns else 0
+        return int(values + ids + masks)
+
+    def to_dense(self) -> np.ndarray:
+        psize = self.pattern_size
+        n_row, n_col = self.tile_ids.shape
+        padded = np.zeros((n_row * psize, n_col * psize))
+        k = 0
+        for bi in range(n_row):
+            for bj in range(n_col):
+                mask = self.patterns[self.tile_ids[bi, bj]].astype(bool)
+                tile = np.zeros((psize, psize))
+                tile[mask] = self.tile_values[k]
+                padded[bi * psize:(bi + 1) * psize,
+                       bj * psize:(bj + 1) * psize] = tile
+                k += 1
+        return padded[: self.shape[0], : self.shape[1]]
+
+
+# ---------------------------------------------------------------------------
+# constructors from dense
+# ---------------------------------------------------------------------------
+
+def from_dense_coo(dense: np.ndarray) -> COOMatrix:
+    """Store the nonzeros of ``dense`` in COO format."""
+    row, col = np.nonzero(dense)
+    return COOMatrix(dense.shape, row, col, dense[row, col].astype(np.float64))
+
+
+def from_dense_block(dense: np.ndarray, num_blocks: int) -> BlockCompressedMatrix:
+    """Store ``dense`` in BP's block-compressed layout.
+
+    Within each row-block, a column is "kept" if it has any nonzero; BP
+    masks produce exactly this structure (whole columns per block).
+    """
+    if dense.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    edges = np.linspace(0, dense.shape[0], num_blocks + 1).astype(int)
+    bounds, kept, payloads = [], [], []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        block = dense[lo:hi]
+        cols = np.flatnonzero((block != 0).any(axis=0))
+        bounds.append((int(lo), int(hi)))
+        kept.append(cols)
+        payloads.append(block[:, cols].copy())
+    return BlockCompressedMatrix(dense.shape, bounds, kept, payloads)
+
+
+def from_dense_pattern(dense: np.ndarray, patterns: Sequence[np.ndarray],
+                       tile_ids: np.ndarray) -> PatternIndexedMatrix:
+    """Pack ``dense`` given the pattern library and per-tile assignment.
+
+    ``dense`` must already be masked (zeros outside each tile's pattern);
+    the values kept are those at the pattern's one-positions.
+    """
+    stack = np.stack([np.asarray(p) != 0 for p in patterns])
+    psize = stack.shape[1]
+    n_row, n_col = tile_ids.shape
+    padded = np.zeros((n_row * psize, n_col * psize))
+    padded[: dense.shape[0], : dense.shape[1]] = dense
+    values = []
+    for bi in range(n_row):
+        for bj in range(n_col):
+            tile = padded[bi * psize:(bi + 1) * psize, bj * psize:(bj + 1) * psize]
+            mask = stack[tile_ids[bi, bj]]
+            if np.any(tile[~mask] != 0):
+                raise ValueError(f"tile ({bi},{bj}) has nonzeros outside its pattern")
+            values.append(tile[mask].astype(np.float64))
+    return PatternIndexedMatrix(dense.shape, psize, stack.astype(np.float64),
+                                tile_ids.astype(np.int64), values)

@@ -1,0 +1,134 @@
+"""Matmul kernels over the sparse formats, with operation counting.
+
+Each kernel computes ``W @ x`` for a sparse weight ``W`` (m x n) and dense
+activations ``x`` (n x b), returns the exact dense result, and charges an
+:class:`OpCounter`:
+
+- ``macs``        useful multiply-accumulates (scales with surviving weights)
+- ``index_ops``   bookkeeping: coordinate loads, gather/scatter of rows
+- ``overhead_ops`` per-structure fixed work (per-block/-tile dispatch)
+
+The counters realize the paper's cost argument executably:
+
+- dense:     macs = m·n·b, no indexing;
+- block:     macs shrink with sparsity, one index op per kept column per
+             block (gathers whole activation rows — SIMD-friendly);
+- pattern:   macs shrink with sparsity, one dispatch per tile plus one
+             index op per kept position *of the shared pattern* (amortized
+             across tiles with the same pattern);
+- COO:       macs shrink with sparsity but EVERY nonzero pays coordinate
+             loads and a scatter — the per-nonzero penalty that makes
+             irregular sparsity slow on mobile SIMD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.formats import (
+    BlockCompressedMatrix,
+    COOMatrix,
+    PatternIndexedMatrix,
+)
+
+
+@dataclass
+class OpCounter:
+    """Abstract cost of one kernel invocation."""
+
+    macs: int = 0
+    index_ops: int = 0
+    overhead_ops: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.macs + self.index_ops + self.overhead_ops
+
+    def weighted_total(self, index_penalty: float = 2.0) -> float:
+        """Cost with index operations up-weighted (they break SIMD lanes)."""
+        return self.macs + index_penalty * self.index_ops + self.overhead_ops
+
+
+def _check_x(n: int, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.shape[0] != n:
+        raise ValueError(f"activation rows {x.shape[0]} != weight cols {n}")
+    return x
+
+
+def dense_matmul(w: np.ndarray, x: np.ndarray) -> Tuple[np.ndarray, OpCounter]:
+    """Reference kernel: every weight participates."""
+    x = _check_x(w.shape[1], x)
+    out = w @ x
+    counter = OpCounter(macs=w.shape[0] * w.shape[1] * x.shape[1])
+    return out, counter
+
+
+def coo_matmul(w: COOMatrix, x: np.ndarray) -> Tuple[np.ndarray, OpCounter]:
+    """Irregular kernel: per-nonzero coordinate loads and scatters."""
+    x = _check_x(w.shape[1], x)
+    out = np.zeros((w.shape[0], x.shape[1]))
+    # vectorized equivalent of: for each nnz k: out[row[k]] += data[k]*x[col[k]]
+    contrib = w.data[:, None] * x[w.col]
+    np.add.at(out, w.row, contrib)
+    counter = OpCounter(
+        macs=w.nnz * x.shape[1],
+        # per nonzero: load row, load col, gather x-row, scatter out-row
+        index_ops=w.nnz * (2 + 2 * x.shape[1]),
+    )
+    return out, counter
+
+
+def block_matmul(w: BlockCompressedMatrix, x: np.ndarray) -> Tuple[np.ndarray, OpCounter]:
+    """BP kernel: per block, gather kept activation rows once, dense GEMM."""
+    x = _check_x(w.shape[1], x)
+    out = np.zeros((w.shape[0], x.shape[1]))
+    counter = OpCounter()
+    for (lo, hi), cols, payload in zip(w.block_bounds, w.kept_cols, w.payloads):
+        gathered = x[cols]  # one gather per kept column
+        out[lo:hi] = payload @ gathered
+        counter.macs += payload.size * x.shape[1]
+        counter.index_ops += len(cols)
+        counter.overhead_ops += 1
+    return out, counter
+
+
+def pattern_matmul(w: PatternIndexedMatrix, x: np.ndarray) -> Tuple[np.ndarray, OpCounter]:
+    """PP kernel: per tile, dispatch on the (shared) pattern id.
+
+    Index cost: the kept-position list of each *pattern* is materialized
+    once (compiler-generated code in PatDNN terms) and amortized over all
+    tiles using it, so per-tile cost is one id load plus the useful MACs.
+    """
+    x = _check_x(w.shape[1], x)
+    psize = w.pattern_size
+    n_row, n_col = w.tile_ids.shape
+    padded_x = np.zeros((n_col * psize, x.shape[1]))
+    padded_x[: x.shape[0]] = x
+    out_padded = np.zeros((n_row * psize, x.shape[1]))
+    counter = OpCounter()
+
+    kept_positions = [np.argwhere(p != 0) for p in w.patterns]
+    counter.index_ops += sum(len(k) for k in kept_positions)  # one-time tables
+
+    k = 0
+    for bi in range(n_row):
+        for bj in range(n_col):
+            pid = w.tile_ids[bi, bj]
+            pos = kept_positions[pid]
+            values = w.tile_values[k]
+            k += 1
+            counter.overhead_ops += 1  # tile dispatch
+            if len(values) == 0:
+                continue
+            rows = pos[:, 0] + bi * psize
+            cols = pos[:, 1] + bj * psize
+            contrib = values[:, None] * padded_x[cols]
+            np.add.at(out_padded, rows, contrib)
+            counter.macs += len(values) * x.shape[1]
+    return out_padded[: w.shape[0]], counter

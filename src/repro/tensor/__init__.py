@@ -1,0 +1,74 @@
+"""NumPy reverse-mode autograd substrate.
+
+The paper's experiments run on PyTorch; offline we provide an equivalent,
+minimal automatic-differentiation engine.  The public surface mirrors the
+small subset of torch that RT3 needs:
+
+- :class:`Tensor` — an ndarray wrapper that records the operation graph and
+  back-propagates gradients on :meth:`Tensor.backward`.
+- elementwise / matmul / reduction / shape ops as methods and free functions
+- neural-network primitives used by :mod:`repro.nn` (softmax, gelu,
+  cross-entropy, dropout, embedding gather)
+- :func:`gradcheck` — finite-difference verification used by the test suite.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor import functional
+from repro.tensor.functional import (
+    add,
+    cat,
+    cross_entropy,
+    dropout,
+    embedding,
+    exp,
+    gelu,
+    log,
+    log_softmax,
+    matmul,
+    maximum,
+    mean,
+    mse_loss,
+    mul,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    sum as sum_,
+    tanh,
+    transpose,
+    where,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "add",
+    "mul",
+    "matmul",
+    "relu",
+    "gelu",
+    "tanh",
+    "sigmoid",
+    "exp",
+    "log",
+    "sqrt",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "dropout",
+    "embedding",
+    "mean",
+    "sum_",
+    "maximum",
+    "where",
+    "reshape",
+    "transpose",
+    "cat",
+]

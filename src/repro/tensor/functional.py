@@ -1,0 +1,497 @@
+"""Differentiable operations on :class:`repro.tensor.Tensor`.
+
+Every function builds the forward value eagerly and, when grad is enabled
+and at least one input requires grad, attaches a backward closure that
+routes the incoming gradient to each parent via
+:func:`repro.tensor.tensor.unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
+
+_SUM = builtins.sum
+
+
+def _make(
+    data: np.ndarray,
+    parents: Tuple[Tensor, ...],
+    backward,
+    name: str = "",
+) -> Tensor:
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires, _parents=parents if requires else (),
+                 _backward=backward if requires else None, name=name)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data + b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad, b.shape))
+
+    return _make(data, (a, b), backward, "add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data - b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(-grad, b.shape))
+
+    return _make(data, (a, b), backward, "sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data * b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * a.data, b.shape))
+
+    return _make(data, (a, b), backward, "mul")
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data / b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return _make(data, (a, b), backward, "div")
+
+
+def power(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    exponent = float(exponent)
+    data = a.data ** exponent
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * exponent * a.data ** (exponent - 1.0))
+
+    return _make(data, (a,), backward, "pow")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max; ties route gradient to the first argument."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * ~a_wins, b.shape))
+
+    return _make(data, (a, b), backward, "maximum")
+
+
+def where(cond, a, b) -> Tensor:
+    cond_arr = cond.data if isinstance(cond, Tensor) else np.asarray(cond)
+    cond_arr = cond_arr.astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+    data = np.where(cond_arr, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * cond_arr, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * ~cond_arr, b.shape))
+
+    return _make(data, (a, b), backward, "where")
+
+
+# ---------------------------------------------------------------------------
+# transcendental / activation functions
+# ---------------------------------------------------------------------------
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.exp(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * data)
+
+    return _make(data, (a,), backward, "exp")
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.log(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad / a.data)
+
+    return _make(data, (a,), backward, "log")
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.sqrt(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * 0.5 / data)
+
+    return _make(data, (a,), backward, "sqrt")
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - data ** 2))
+
+    return _make(data, (a,), backward, "tanh")
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * data * (1.0 - data))
+
+    return _make(data, (a,), backward, "sigmoid")
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    data = a.data * mask
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return _make(data, (a,), backward, "relu")
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(a) -> Tensor:
+    """Tanh-approximation GELU (matches BERT/DistilBERT)."""
+    a = as_tensor(a)
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    data = 0.5 * x * (1.0 + t)
+
+    def backward(grad):
+        if a.requires_grad:
+            dinner = _GELU_C * (1.0 + 3 * 0.044715 * x ** 2)
+            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
+            a._accumulate(grad * local)
+
+    return _make(data, (a,), backward, "gelu")
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if not a.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate(np.broadcast_to(g, a.shape).copy())
+
+    return _make(data, (a,), backward, "sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        if not a.requires_grad:
+            return
+        g = grad / count
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate(np.broadcast_to(g, a.shape).copy())
+
+    return _make(data, (a,), backward, "mean")
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if not a.requires_grad:
+            return
+        full = data if keepdims or axis is None else np.expand_dims(data, axis=axis)
+        g = grad if keepdims or axis is None else np.expand_dims(grad, axis=axis)
+        mask = a.data == full
+        # split gradient among ties to keep gradcheck happy
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        a._accumulate(np.broadcast_to(g, a.shape) * mask / counts)
+
+    return _make(data, (a,), backward, "max")
+
+
+# ---------------------------------------------------------------------------
+# linear algebra / shape
+# ---------------------------------------------------------------------------
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data @ b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            a._accumulate(unbroadcast(ga, a.shape))
+        if b.requires_grad:
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            b._accumulate(unbroadcast(gb, b.shape))
+
+    return _make(data, (a, b), backward, "matmul")
+
+
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.reshape(shape)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad.reshape(a.shape))
+
+    return _make(data, (a,), backward, "reshape")
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad.transpose(inverse))
+
+    return _make(data, (a,), backward, "transpose")
+
+
+def swapaxes(a, ax1: int, ax2: int) -> Tensor:
+    a = as_tensor(a)
+    data = np.swapaxes(a.data, ax1, ax2)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(np.swapaxes(grad, ax1, ax2))
+
+    return _make(data, (a,), backward, "swapaxes")
+
+
+def getitem(a, idx) -> Tensor:
+    a = as_tensor(a)
+    if isinstance(idx, Tensor):
+        idx = idx.data
+    data = a.data[idx]
+
+    def backward(grad):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, idx, grad)
+            a._accumulate(full)
+
+    return _make(data, (a,), backward, "getitem")
+
+
+def cat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    return _make(data, tuple(tensors), backward, "cat")
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        parts = np.split(grad, len(tensors), axis=axis)
+        for t, part in zip(tensors, parts):
+            if t.requires_grad:
+                t._accumulate(part.squeeze(axis))
+
+    return _make(data, tuple(tensors), backward, "stack")
+
+
+# ---------------------------------------------------------------------------
+# neural-net primitives
+# ---------------------------------------------------------------------------
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if a.requires_grad:
+            dot = (grad * data).sum(axis=axis, keepdims=True)
+            a._accumulate(data * (grad - dot))
+
+    return _make(data, (a,), backward, "softmax")
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    soft = np.exp(data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return _make(data, (a,), backward, "log_softmax")
+
+
+def cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
+    """Cross-entropy over the last axis with integer class targets.
+
+    ``logits`` has shape ``(..., C)``; ``targets`` is integer ``(...)``.
+    """
+    logits = as_tensor(logits)
+    target_idx = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    target_idx = target_idx.astype(np.int64)
+    lsm = log_softmax(logits, axis=-1)
+    flat = lsm.data.reshape(-1, lsm.shape[-1])
+    rows = np.arange(flat.shape[0])
+    picked = flat[rows, target_idx.reshape(-1)]
+    if reduction == "mean":
+        value = -picked.mean()
+    elif reduction == "sum":
+        value = -picked.sum()
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad):
+        if not lsm.requires_grad:
+            return
+        g = np.zeros_like(flat)
+        g[rows, target_idx.reshape(-1)] = -1.0
+        if reduction == "mean":
+            g /= flat.shape[0]
+        lsm._accumulate(grad * g.reshape(lsm.shape))
+
+    return _make(np.asarray(value), (lsm,), backward, "cross_entropy")
+
+
+def mse_loss(pred, target) -> Tensor:
+    pred = as_tensor(pred)
+    target_arr = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
+    diff = pred.data - target_arr
+    value = np.asarray((diff ** 2).mean())
+
+    def backward(grad):
+        if pred.requires_grad:
+            pred._accumulate(grad * 2.0 * diff / diff.size)
+
+    return _make(value, (pred,), backward, "mse_loss")
+
+
+def dropout(a, p: float, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) at train time."""
+    a = as_tensor(a)
+    if not training or p <= 0.0:
+        return a
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(a.shape) >= p) / (1.0 - p)
+    data = a.data * keep
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * keep)
+
+    return _make(data, (a,), backward, "dropout")
+
+
+def embedding(weight, indices) -> Tensor:
+    """Gather rows of ``weight`` (V, D) at integer ``indices`` (...)."""
+    weight = as_tensor(weight)
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    idx = idx.astype(np.int64)
+    data = weight.data[idx]
+
+    def backward(grad):
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, idx, grad)
+            weight._accumulate(full)
+
+    return _make(data, (weight,), backward, "embedding")
+
+
+def masked_fill(a, mask, value: float) -> Tensor:
+    """Set positions where ``mask`` is true to ``value`` (no grad there)."""
+    a = as_tensor(a)
+    mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+    mask_arr = mask_arr.astype(bool)
+    data = np.where(mask_arr, value, a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * ~mask_arr, a.shape))
+
+    return _make(data, (a,), backward, "masked_fill")

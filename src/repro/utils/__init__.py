@@ -1,0 +1,5 @@
+"""Small shared utilities (terminal plotting, formatting)."""
+
+from repro.utils.plot import ascii_scatter, ascii_line, format_si
+
+__all__ = ["ascii_scatter", "ascii_line", "format_si"]

@@ -1,0 +1,72 @@
+"""Terminal plotting for the examples and CLI (no matplotlib offline).
+
+``ascii_scatter`` renders labelled point series on a character grid —
+enough to eyeball a Pareto frontier; ``ascii_line`` renders one series
+against its index (battery fraction over time, accuracy over sparsity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def format_si(value: float) -> str:
+    """1530000 -> '1.53M'; 0.0875 -> '87.5m'."""
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= cut:
+            return f"{value / cut:.3g}{suffix}"
+    if 0 < abs(value) < 1e-1:
+        return f"{value * 1e3:.3g}m"
+    return f"{value:.3g}"
+
+
+def _scale(v: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(steps - 1, max(0, int(round((v - lo) / (hi - lo) * (steps - 1)))))
+
+
+def ascii_scatter(series: Dict[str, Sequence[Point]], width: int = 60,
+                  height: int = 18, xlabel: str = "x", ylabel: str = "y") -> str:
+    """Plot named point series; each series gets its own marker."""
+    markers = "ox+*#@%&"
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs, ys = zip(*points)
+    lo_x, hi_x, lo_y, hi_y = min(xs), max(xs), min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = _scale(x, lo_x, hi_x, width)
+            row = height - 1 - _scale(y, lo_y, hi_y, height)
+            grid[row][col] = marker
+    lines = [f"{ylabel} ^  [{format_si(lo_y)} .. {format_si(hi_y)}]"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width + f"> {xlabel} [{format_si(lo_x)} .. {format_si(hi_x)}]")
+    legend = "   ".join(f"{marker}={name}" for (name, _), marker in
+                        zip(series.items(), markers))
+    lines.append("    " + legend)
+    return "\n".join(lines)
+
+
+def ascii_line(values: Sequence[float], width: int = 60, height: int = 12,
+               label: str = "") -> str:
+    """Plot one series against its index."""
+    if not values:
+        raise ValueError("nothing to plot")
+    values = list(values)
+    lo, hi = min(values), max(values)
+    # resample to the target width
+    idx = [int(i * (len(values) - 1) / max(1, width - 1)) for i in range(width)]
+    sampled = [values[i] for i in idx]
+    grid = [[" "] * width for _ in range(height)]
+    for col, v in enumerate(sampled):
+        row = height - 1 - _scale(v, lo, hi, height)
+        grid[row][col] = "*"
+    lines = [f"{label} [{format_si(lo)} .. {format_si(hi)}]"] if label else []
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width + ">")
+    return "\n".join(lines)

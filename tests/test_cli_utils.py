@@ -1,0 +1,106 @@
+"""CLI commands and ASCII plotting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils.plot import ascii_line, ascii_scatter, format_si
+
+
+class TestFormatSi:
+    def test_millions(self):
+        assert format_si(1_530_000) == "1.53M"
+
+    def test_thousands(self):
+        assert format_si(2_500) == "2.5k"
+
+    def test_small(self):
+        assert format_si(0.0875) == "87.5m"
+
+    def test_plain(self):
+        assert format_si(3.14159) == "3.14"
+
+
+class TestAsciiPlots:
+    def test_scatter_contains_markers_and_legend(self):
+        out = ascii_scatter({"a": [(0, 0), (1, 1)], "b": [(0.5, 0.5)]},
+                            width=20, height=8)
+        assert "o" in out and "x" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_scatter_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": []})
+
+    def test_scatter_degenerate_single_point(self):
+        out = ascii_scatter({"a": [(1.0, 1.0)]}, width=10, height=4)
+        assert "o" in out
+
+    def test_line_renders(self):
+        out = ascii_line([0, 1, 2, 3, 2, 1, 0], width=20, height=6, label="bat")
+        assert out.count("*") == 20
+        assert "bat" in out
+
+    def test_line_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line([])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.fn.__name__ == "cmd_info"
+
+    def test_search_args(self):
+        args = build_parser().parse_args(
+            ["search", "--task", "rte", "--deadline-ms", "200", "--episodes", "3"])
+        assert args.task == "rte"
+        assert args.deadline_ms == 200.0
+        assert args.episodes == 3
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--task", "imagenet"])
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "l6" in out and "CYCLES_PER_MAC" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E3" in out
+
+    def test_search_writes_outputs(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        bundle_path = tmp_path / "bundle"
+        code = main([
+            "search", "--task", "wikitext2", "--episodes", "1",
+            "--pretrain-epochs", "1",
+            "--output", str(report_path), "--bundle", str(bundle_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["task"] == "wikitext2"
+        assert set(report["final_accuracies"]) == {"l3", "l4", "l6"}
+        assert (bundle_path / "manifest.json").exists()
+
+    def test_ablation_writes_rows(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.json"
+        code = main([
+            "ablation", "--task", "wikitext2", "--episodes", "1",
+            "--pretrain-epochs", "1", "--output", str(out_path),
+        ])
+        assert code == 0
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 6
+        assert rows[0][0] == "No-Opt"

@@ -1,0 +1,152 @@
+"""Ablation harness (Table IV) and pattern visualization (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import AblationConfig, AblationStudy, format_ablation_table
+from repro.core.block_pruning import BlockPruningConfig
+from repro.core.controller import ControllerConfig
+from repro.core.patterns import Pattern, PatternSet, random_pattern_set
+from repro.core.rt3 import RT3Config
+from repro.core.search_space import SearchSpaceConfig
+from repro.core.trainer import TrainConfig, train_plain
+from repro.core.visualize import (
+    column_correlation,
+    column_profile,
+    figure4_report,
+    render_side_by_side,
+    shared_positions,
+)
+from repro.hardware.workload import paper_scale_transformer
+
+
+@pytest.fixture()
+def study(lm_task):
+    train_plain(lm_task, epochs=2, lr=3e-3)
+    cfg = AblationConfig(rt3=RT3Config(
+        deadline_s=0.104, episodes=2,
+        bp=BlockPruningConfig(num_blocks=2, rate=0.3),
+        space=SearchSpaceConfig(pattern_size=8, theta=2, patterns_per_set=2, seed=0),
+        controller=ControllerConfig(seed=0),
+        episode_train=TrainConfig(epochs=1, lr=2e-3),
+        finetune_train=TrainConfig(epochs=1, lr=2e-3),
+        backbone_finetune_epochs=1,
+    ))
+    return AblationStudy(lm_task, paper_scale_transformer(), cfg)
+
+
+class TestAblation:
+    def test_no_opt_is_baseline(self, study):
+        row = study.no_opt()
+        assert row.avg_sparsity == 0.0
+        assert row.improvement == 1.0
+        assert row.accuracy_loss == 0.0
+
+    def test_bp_variants_same_runs_structure(self, study):
+        study.no_opt()
+        bp = study.bp_only()
+        rbp = study.rbp_only()
+        # same pruning budget -> (almost) identical hardware numbers
+        assert bp.runs == pytest.approx(rbp.runs, rel=0.02)
+        assert bp.avg_sparsity == pytest.approx(rbp.avg_sparsity, abs=0.02)
+
+    def test_pruned_variants_improve_runs(self, study):
+        study.no_opt()
+        bp = study.bp_only()
+        assert bp.improvement > 1.0
+
+    def test_pp_variants_improve_more(self, study):
+        """Pattern-set configurations exploit DVFS: more runs than BP-only."""
+        study.no_opt()
+        bp = study.bp_only()
+        rpp = study.rbp_rpp()
+        assert rpp.runs > bp.runs
+
+    def test_run_all_order_and_restoration(self, study):
+        before = {k: v.copy() for k, v in study.task.model.state_dict().items()}
+        rows = study.run_all()
+        assert [r.method for r in rows] == [
+            "No-Opt", "rBP only", "rBP+rPP", "rBP+PP", "BP only", "RT3"]
+        after = study.task.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_format_table(self, study):
+        rows = [study.no_opt()]
+        text = format_ablation_table(rows)
+        assert "No-Opt" in text and "#runs" in text
+
+
+class TestVisualize:
+    def _patterns(self):
+        rng = np.random.default_rng(0)
+        dense = random_pattern_set(8, 0.25, 1, rng)[0]
+        sparse = Pattern(dense.mask * (rng.random((8, 8)) < 0.5))
+        return dense, sparse
+
+    def test_render_side_by_side(self):
+        dense, sparse = self._patterns()
+        out = render_side_by_side([dense, sparse], ["a", "b"])
+        lines = out.splitlines()
+        assert len(lines) == 9  # header + 8 rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_labels_checked(self):
+        dense, _ = self._patterns()
+        with pytest.raises(ValueError):
+            render_side_by_side([dense], ["a", "b"])
+
+    def test_shared_positions_subset_is_one(self):
+        dense, sparse = self._patterns()
+        assert shared_positions(dense, sparse) == 1.0
+
+    def test_shared_positions_disjoint_is_zero(self):
+        a = Pattern(np.eye(4))
+        b = Pattern(1 - np.eye(4))
+        assert shared_positions(a, b) == 0.0
+
+    def test_shared_positions_size_mismatch(self):
+        with pytest.raises(ValueError):
+            shared_positions(Pattern(np.eye(4)), Pattern(np.eye(8)))
+
+    def test_column_profile(self):
+        p = Pattern(np.hstack([np.ones((4, 2)), np.zeros((4, 2))]))
+        assert np.allclose(column_profile(p), [1, 1, 0, 0])
+
+    def test_column_correlation_identical(self):
+        p = Pattern(np.hstack([np.ones((4, 2)), np.zeros((4, 2))]))
+        assert column_correlation(p, p) == pytest.approx(1.0)
+
+    def test_column_correlation_degenerate(self):
+        p = Pattern(np.ones((4, 4)))
+        assert column_correlation(p, p) == 0.0
+
+    def test_figure4_report(self):
+        rng = np.random.default_rng(1)
+        sets = {
+            "l6": random_pattern_set(8, 0.37, 2, rng),
+            "l4": random_pattern_set(8, 0.50, 2, rng),
+            "l3": random_pattern_set(8, 0.75, 2, rng),
+        }
+        report = figure4_report(sets)
+        assert "l6" in report and "shared kept positions" in report
+
+    def test_bp_guided_sets_share_structure(self, lm_task):
+        """The Fig. 4 observation: sets from the same importance maps share
+        kept positions far above chance."""
+        from repro.core.block_pruning import apply_block_pruning
+        from repro.core.patterns import MaskManager
+        from repro.core.search_space import PatternSearchSpace
+        from repro.hardware.dvfs import DVFSTable
+
+        report = apply_block_pruning(lm_task.model, BlockPruningConfig(num_blocks=2, rate=0.3))
+        manager = MaskManager(lm_task.model, report.masks)
+        space = PatternSearchSpace(
+            manager, paper_scale_transformer(), DVFSTable().subset(["l3", "l4", "l6"]),
+            0.104, cfg=SearchSpaceConfig(pattern_size=8, theta=1, patterns_per_set=2, seed=0),
+        )
+        sparse = space.candidates["l3"][0][0]   # high sparsity
+        dense = space.candidates["l6"][0][0]    # lower sparsity
+        overlap = shared_positions(sparse, dense)
+        chance = 1.0 - dense.sparsity
+        assert overlap > chance + 0.1

@@ -1,0 +1,251 @@
+"""Block-structured pruning: Algorithm 1 semantics and the rBP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import (
+    BlockPruningConfig,
+    ReweightedGroupLasso,
+    apply_block_pruning,
+    block_group_norms,
+    block_prune_matrix,
+    random_block_prune_matrix,
+    _block_bounds,
+)
+from repro.nn.layers import prunable_linears
+from repro.tensor import functional as F
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert _block_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_covers_all(self):
+        bounds = _block_bounds(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        assert all(lo < hi for lo, hi in bounds)
+
+    def test_too_many_blocks(self):
+        with pytest.raises(ValueError):
+            _block_bounds(2, 5)
+
+
+class TestGroupNorms:
+    def test_column_norms_shape(self):
+        w = np.random.default_rng(0).normal(size=(8, 5))
+        norms = block_group_norms(w, 4, "column")
+        assert len(norms) == 4
+        assert all(n.shape == (5,) for n in norms)
+
+    def test_row_norms_shape(self):
+        w = np.random.default_rng(0).normal(size=(8, 6))
+        norms = block_group_norms(w, 3, "row")
+        assert len(norms) == 3
+        assert all(n.shape == (8,) for n in norms)
+
+    def test_values_match_manual(self):
+        w = np.arange(12.0).reshape(4, 3)
+        norms = block_group_norms(w, 2, "column")
+        assert np.allclose(norms[0], np.linalg.norm(w[:2], axis=0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            block_group_norms(np.zeros(5), 1, "column")
+
+
+class TestAlgorithm1:
+    def test_rate_mode_prunes_target_fraction(self):
+        w = np.random.default_rng(1).normal(size=(16, 10))
+        cfg = BlockPruningConfig(num_blocks=4, rate=0.5)
+        mask = block_prune_matrix(w, cfg)
+        assert 1.0 - mask.mean() == pytest.approx(0.5)
+
+    def test_pruned_are_weakest_columns_per_block(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(8, 6))
+        w[:4, 0] = 0.001  # column 0 is weakest in block 0
+        cfg = BlockPruningConfig(num_blocks=2, rate=1.0 / 6.0)
+        mask = block_prune_matrix(w, cfg)
+        assert mask[:4, 0].sum() == 0  # pruned in block 0
+        assert mask[4:, 0].sum() == 4 or mask[4:, 0].sum() == 0  # per-block independent
+
+    def test_blocks_prune_independently(self):
+        """Different blocks may prune different columns — the BP advantage
+        over whole-matrix structured pruning."""
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(8, 8))
+        w[:4, 0] *= 1e-3
+        w[4:, 7] *= 1e-3
+        mask = block_prune_matrix(w, BlockPruningConfig(num_blocks=2, rate=0.125))
+        assert mask[:4, 0].sum() == 0 and mask[:4, 7].sum() == 4
+        assert mask[4:, 7].sum() == 0 and mask[4:, 0].sum() == 4
+
+    def test_threshold_mode(self):
+        w = np.ones((4, 4))
+        w[:, 0] = 1e-6
+        cfg = BlockPruningConfig(num_blocks=1, threshold=0.5)
+        mask = block_prune_matrix(w, cfg)
+        assert mask[:, 0].sum() == 0
+        assert mask[:, 1:].sum() == 12
+
+    def test_threshold_never_kills_whole_block(self):
+        w = np.full((4, 4), 1e-9)
+        cfg = BlockPruningConfig(num_blocks=1, threshold=1.0)
+        mask = block_prune_matrix(w, cfg)
+        assert mask.sum() > 0  # strongest group survives
+
+    def test_rate_mode_keeps_one_group(self):
+        w = np.random.default_rng(4).normal(size=(4, 4))
+        cfg = BlockPruningConfig(num_blocks=1, rate=0.99)
+        mask = block_prune_matrix(w, cfg)
+        # at most cols-1 pruned
+        assert mask.sum() >= 4
+
+    def test_row_direction(self):
+        w = np.random.default_rng(5).normal(size=(6, 8))
+        w[0, :4] = 1e-6
+        cfg = BlockPruningConfig(num_blocks=2, direction="row", rate=1.0 / 6.0)
+        mask = block_prune_matrix(w, cfg)
+        assert mask[0, :4].sum() == 0  # row 0 pruned in first column-block
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BlockPruningConfig(num_blocks=0)
+        with pytest.raises(ValueError):
+            BlockPruningConfig(direction="diagonal")
+        with pytest.raises(ValueError):
+            BlockPruningConfig(rate=1.0)
+        with pytest.raises(ValueError):
+            BlockPruningConfig(threshold=-1.0)
+
+
+class TestRandomBaseline:
+    def test_same_sparsity_as_bp(self):
+        w = np.random.default_rng(6).normal(size=(16, 12))
+        cfg = BlockPruningConfig(num_blocks=4, rate=0.5)
+        bp = block_prune_matrix(w, cfg)
+        rbp = random_block_prune_matrix(w, cfg)
+        assert bp.mean() == pytest.approx(rbp.mean())
+
+    def test_rbp_keeps_less_energy(self):
+        """BP selects by l2 norm, so it must retain at least as much weight
+        energy as a random selection — the mechanism behind Table IV's
+        accuracy gap between BP and rBP."""
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(32, 24)) * rng.uniform(0.1, 3.0, size=(1, 24))
+        cfg = BlockPruningConfig(num_blocks=4, rate=0.5)
+        bp_energy = (w * block_prune_matrix(w, cfg)) ** 2
+        rbp_energy = (w * random_block_prune_matrix(w, cfg, rng)) ** 2
+        assert bp_energy.sum() > rbp_energy.sum()
+
+    def test_structure_is_blockwise(self):
+        w = np.random.default_rng(8).normal(size=(8, 6))
+        cfg = BlockPruningConfig(num_blocks=2, rate=0.5)
+        mask = random_block_prune_matrix(w, cfg)
+        for lo, hi in [(0, 4), (4, 8)]:
+            cols = mask[lo:hi].mean(axis=0)
+            assert set(np.unique(cols)) <= {0.0, 1.0}  # whole columns per block
+
+
+class TestApplyToModel:
+    def test_masks_installed(self, tiny_transformer):
+        report = apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.4))
+        layers = prunable_linears(tiny_transformer)
+        assert set(report.masks) == set(layers)
+        for name, layer in layers.items():
+            assert layer.mask is not None
+            assert np.array_equal(layer.mask, report.masks[name])
+
+    def test_overall_sparsity_near_rate(self, tiny_transformer):
+        report = apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5))
+        assert report.overall_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_compression_ratio(self, tiny_transformer):
+        report = apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5))
+        assert report.compression_ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_forward_still_works(self, tiny_transformer):
+        from repro.tensor.tensor import Tensor
+
+        apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5))
+        toks = np.random.default_rng(0).integers(0, 60, size=(2, 8))
+        logits = tiny_transformer(Tensor(toks))
+        assert np.isfinite(logits.data).all()
+
+    def test_random_flag_gives_different_masks(self, tiny_transformer):
+        r1 = apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5))
+        r2 = apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5),
+                                 random_baseline=True)
+        different = any(not np.array_equal(r1.masks[k], r2.masks[k]) for k in r1.masks)
+        assert different
+
+    def test_no_prunable_layers_raises(self):
+        from repro.nn.layers import Linear
+        from repro.nn.module import Module
+
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(2, 2)
+
+        with pytest.raises(ValueError):
+            apply_block_pruning(Tiny(), BlockPruningConfig())
+
+
+class TestReweightedGroupLasso:
+    def test_penalty_positive_and_differentiable(self, tiny_transformer):
+        layers = prunable_linears(tiny_transformer)
+        reg = ReweightedGroupLasso(num_blocks=2, strength=1e-2)
+        pen = reg.penalty(layers)
+        assert float(pen.data) > 0
+        pen.backward()
+        any_layer = next(iter(layers.values()))
+        assert any_layer.weight.grad is not None
+
+    def test_reweighting_pushes_small_groups_harder(self):
+        from repro.nn.layers import Linear
+
+        layer = Linear(8, 8, seed=0)
+        layer.weight.data[:, 0] *= 0.01  # weak column
+        layers = {"l": layer}
+        reg = ReweightedGroupLasso(num_blocks=1, strength=1.0)
+        reg.reweight(layers)
+        pen = reg.penalty(layers)
+        pen.backward()
+        g = np.abs(layer.weight.grad)
+        # reweighting makes the *relative* pull on the weak column the
+        # same scale as strong ones (norm/norm ~ 1), i.e. grad magnitude
+        # per unit weight much larger
+        rel_weak = g[:, 0].mean() / np.abs(layer.weight.data[:, 0]).mean()
+        rel_strong = g[:, 1].mean() / np.abs(layer.weight.data[:, 1]).mean()
+        assert rel_weak > rel_strong
+
+    def test_training_with_penalty_shrinks_weak_groups(self):
+        """A few steps of lasso-regularized training drive weak columns
+        toward zero — the orchestration step before Algorithm 1."""
+        from repro.nn.layers import Linear
+        from repro.nn.optim import SGD
+        from repro.tensor.tensor import Tensor
+
+        layer = Linear(8, 8, seed=1)
+        layer.weight.data[:, :2] *= 0.1
+        layers = {"l": layer}
+        reg = ReweightedGroupLasso(num_blocks=2, strength=1e-2)
+        reg.reweight(layers)  # weights fixed for this run: stable shrinkage
+        opt = SGD([layer.weight], lr=0.05)
+        before_weak = np.linalg.norm(layer.weight.data[:, :2])
+        before_strong = np.linalg.norm(layer.weight.data[:, 2:])
+        for _ in range(20):
+            loss = reg.penalty(layers)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        after_weak = np.linalg.norm(layer.weight.data[:, :2])
+        after_strong = np.linalg.norm(layer.weight.data[:, 2:])
+        # weak groups shrink much faster (relatively) than strong ones
+        assert after_weak / before_weak < 0.7
+        assert after_weak / before_weak < after_strong / before_strong
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError):
+            ReweightedGroupLasso(num_blocks=2, strength=-1.0)

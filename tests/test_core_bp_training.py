@@ -1,0 +1,58 @@
+"""Lasso-orchestrated BP flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig
+from repro.core.bp_training import OrchestrationConfig, orchestrate_bp
+from repro.core.trainer import train_plain
+
+
+@pytest.fixture()
+def trained(lm_task):
+    train_plain(lm_task, epochs=3, lr=3e-3)
+    return lm_task
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrchestrationConfig(warmup_epochs=-1)
+        with pytest.raises(ValueError):
+            OrchestrationConfig(lasso_strength=-0.1)
+
+
+class TestOrchestration:
+    def test_end_to_end_fields(self, trained):
+        cfg = OrchestrationConfig(
+            bp=BlockPruningConfig(num_blocks=2, rate=0.4),
+            lasso_strength=1e-3, warmup_epochs=1, finetune_epochs=1, lr=2e-3)
+        result = orchestrate_bp(trained, cfg)
+        assert result.report.overall_sparsity == pytest.approx(0.4, abs=0.05)
+        assert len(result.warmup_losses) == 1
+        assert 0.0 <= result.accuracy_final <= 1.0
+        assert np.isfinite(result.group_norm_shrinkage)
+
+    def test_lasso_shrinks_victim_groups(self, trained):
+        cfg = OrchestrationConfig(
+            bp=BlockPruningConfig(num_blocks=2, rate=0.4),
+            lasso_strength=5e-3, warmup_epochs=2, finetune_epochs=0, lr=2e-3)
+        result = orchestrate_bp(trained, cfg)
+        # the mass of to-be-pruned groups went down during warmup
+        assert result.group_norm_shrinkage < 1.0
+
+    def test_zero_warmup_equals_cold_prune(self, trained):
+        cfg = OrchestrationConfig(
+            bp=BlockPruningConfig(num_blocks=2, rate=0.4),
+            warmup_epochs=0, finetune_epochs=0)
+        result = orchestrate_bp(trained, cfg)
+        assert result.warmup_losses == []
+        assert result.group_norm_shrinkage == pytest.approx(1.0)
+        assert result.accuracy_after_prune == result.accuracy_final
+
+    def test_finetune_recovers_accuracy(self, trained):
+        cfg = OrchestrationConfig(
+            bp=BlockPruningConfig(num_blocks=2, rate=0.5),
+            lasso_strength=1e-3, warmup_epochs=1, finetune_epochs=2, lr=2e-3)
+        result = orchestrate_bp(trained, cfg)
+        assert result.accuracy_final >= result.accuracy_after_prune - 0.02

@@ -1,0 +1,114 @@
+"""Equation (1): the three reward cases and their edge conditions."""
+
+import math
+
+import pytest
+
+from repro.core.reward import (
+    RewardConfig,
+    accuracy_order_ok,
+    compute_reward,
+    runs_reward,
+)
+
+
+def cfg(**kwargs):
+    defaults = dict(backbone_accuracy=0.9, min_accuracy=0.5, deadline_s=0.1,
+                    penalty=0.3, runs_ref=1e6)
+    defaults.update(kwargs)
+    return RewardConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_ao_must_exceed_am(self):
+        with pytest.raises(ValueError):
+            cfg(backbone_accuracy=0.5, min_accuracy=0.5)
+
+    def test_deadline_positive(self):
+        with pytest.raises(ValueError):
+            cfg(deadline_s=0.0)
+
+    def test_runs_ref_positive(self):
+        with pytest.raises(ValueError):
+            cfg(runs_ref=0.0)
+
+    def test_penalty_non_negative(self):
+        with pytest.raises(ValueError):
+            cfg(penalty=-0.1)
+
+    def test_alpha_length_checked(self):
+        c = cfg(alpha=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            compute_reward(c, [0.05, 0.05, 0.05], 5e5, [0.9, 0.8, 0.7])
+
+
+class TestCase1DeadlineViolated:
+    def test_reward_is_minus_one_plus_rruns(self):
+        terms = compute_reward(cfg(), [0.05, 0.2], 5e5, None)
+        assert terms.reward == pytest.approx(-1.0 + 0.5)
+        assert not terms.deadline_met
+
+    def test_no_accuracies_needed(self):
+        terms = compute_reward(cfg(), [0.2, 0.2], 0.0)
+        assert math.isnan(terms.weighted_accuracy)
+
+    def test_always_below_feasible_rewards(self):
+        """A deadline violation can never beat a feasible solution with the
+        same runs (assuming Aw >= Am)."""
+        infeasible = compute_reward(cfg(), [0.2], 9e5)
+        feasible = compute_reward(cfg(), [0.05], 9e5, [0.6])
+        assert infeasible.reward < feasible.reward
+
+
+class TestCase2Ordered:
+    def test_full_accuracy_reward(self):
+        terms = compute_reward(cfg(), [0.05, 0.06], 1e6, [0.9, 0.8])
+        aw = 0.85
+        expected = (aw - 0.5) / (0.9 - 0.5) + 1.0
+        assert terms.reward == pytest.approx(expected)
+        assert terms.deadline_met and terms.accuracy_ordered
+
+    def test_alpha_weighting(self):
+        c = cfg(alpha=[3.0, 1.0])
+        terms = compute_reward(c, [0.05, 0.05], 1e6, [0.9, 0.7])
+        assert terms.weighted_accuracy == pytest.approx(0.85)
+
+    def test_accuracies_required(self):
+        with pytest.raises(ValueError):
+            compute_reward(cfg(), [0.05], 1e6, None)
+
+    def test_aw_above_backbone_exceeds_one_norm(self):
+        """RT3 can beat the backbone (Fig. 3 observation) — the normalized
+        accuracy term then exceeds 1; no clipping."""
+        terms = compute_reward(cfg(), [0.05], 0.0, [0.95])
+        assert terms.reward > 1.0 - 1e-9
+
+
+class TestCase3Unordered:
+    def test_penalty_applied(self):
+        ordered = compute_reward(cfg(), [0.05, 0.05], 1e6, [0.9, 0.8])
+        swapped = compute_reward(cfg(), [0.05, 0.05], 1e6, [0.8, 0.9])
+        assert swapped.reward == pytest.approx(ordered.reward - 0.3)
+        assert not swapped.accuracy_ordered
+
+    def test_ties_count_as_violation(self):
+        terms = compute_reward(cfg(), [0.05, 0.05], 1e6, [0.8, 0.8])
+        assert not terms.accuracy_ordered
+
+
+class TestHelpers:
+    def test_accuracy_order(self):
+        assert accuracy_order_ok([0.9, 0.8, 0.7])
+        assert not accuracy_order_ok([0.9, 0.9, 0.7])
+        assert not accuracy_order_ok([0.7, 0.8])
+        assert accuracy_order_ok([0.5])
+
+    def test_runs_reward_clipped(self):
+        assert runs_reward(2e6, 1e6) == 1.0
+        assert runs_reward(5e5, 1e6) == 0.5
+        with pytest.raises(ValueError):
+            runs_reward(-1.0, 1e6)
+
+    def test_empty_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            compute_reward(cfg(), [], 1e5)

@@ -1,0 +1,197 @@
+"""RT3 end-to-end: level 1, level 2 search, baselines, result invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig
+from repro.core.controller import ControllerConfig
+from repro.core.rt3 import RT3, RT3Config
+from repro.core.search_space import SearchSpaceConfig
+from repro.core.trainer import TrainConfig, train_plain
+from repro.hardware.workload import paper_scale_transformer
+
+
+def small_cfg(**overrides):
+    base = dict(
+        deadline_s=0.104,
+        episodes=3,
+        bp=BlockPruningConfig(num_blocks=2, rate=0.3),
+        space=SearchSpaceConfig(pattern_size=8, theta=2, patterns_per_set=3, seed=1),
+        controller=ControllerConfig(seed=1),
+        episode_train=TrainConfig(epochs=1, lr=2e-3),
+        finetune_train=TrainConfig(epochs=1, lr=2e-3),
+        backbone_finetune_epochs=1,
+    )
+    base.update(overrides)
+    return RT3Config(**base)
+
+
+@pytest.fixture()
+def trained_lm(lm_task):
+    train_plain(lm_task, epochs=2, lr=3e-3)
+    return lm_task
+
+
+class TestConfigValidation:
+    def test_deadline(self):
+        with pytest.raises(ValueError):
+            RT3Config(deadline_s=0.0)
+
+    def test_episodes(self):
+        with pytest.raises(ValueError):
+            RT3Config(episodes=0)
+
+    def test_levels(self):
+        with pytest.raises(ValueError):
+            RT3Config(level_names=())
+
+
+class TestLevel1:
+    def test_backbone_masks_installed(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        report, acc_m, acc_c = rt3.run_level1()
+        assert rt3.manager is not None
+        assert report.overall_sparsity > 0.2
+        assert 0.0 <= acc_m <= 1.0 and 0.0 <= acc_c <= 1.0
+
+    def test_build_space_requires_level1(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        with pytest.raises(RuntimeError):
+            rt3.build_space()
+
+
+class TestSearch:
+    def test_full_search_returns_consistent_result(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        res = rt3.search()
+        assert len(res.history) == 3 + 1  # episodes + seeded heuristic
+        assert set(res.final_accuracies) == {"l3", "l4", "l6"}
+        assert set(res.final_latencies_ms) == {"l3", "l4", "l6"}
+        assert res.final_total_runs > 0
+        assert res.switch_ms < res.reload_ms
+
+    def test_best_is_max_accuracy_among_feasible(self, trained_lm):
+        """The paper picks the highest-accuracy Pareto point (P_L/P_T)."""
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        res = rt3.search()
+        feasible = [s for s in res.history if s.terms.deadline_met]
+        if feasible:
+            assert res.best.terms.weighted_accuracy == max(
+                s.terms.weighted_accuracy for s in feasible)
+        else:
+            assert res.best.terms.reward == max(s.terms.reward for s in res.history)
+
+    def test_heuristic_seeded_into_history(self, trained_lm):
+        cfg = small_cfg()
+        rt3 = RT3(trained_lm, paper_scale_transformer(), cfg)
+        res = rt3.search()
+        # episodes + 1 seeded heuristic evaluation
+        assert len(res.history) == cfg.episodes + 1
+        assert res.history[0].episode.log_probs == []
+
+    def test_final_latencies_meet_deadline(self, trained_lm):
+        cfg = small_cfg()
+        rt3 = RT3(trained_lm, paper_scale_transformer(), cfg)
+        res = rt3.search()
+        if res.best.terms.deadline_met:
+            assert all(l <= cfg.deadline_s * 1e3 + 1e-6
+                       for l in res.final_latencies_ms.values())
+
+    def test_switch_speedup_over_1000x(self, trained_lm):
+        """The reproducibility headline: ms pattern swap vs s model reload."""
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        res = rt3.search()
+        assert res.reload_ms / res.switch_ms > 1000
+
+    def test_more_runs_than_bp_only_single_level(self, trained_lm):
+        """SW+HW reconfiguration must beat the single-level backbone (the
+        E3 > E1 property of Table II) when the search found a feasible
+        solution."""
+        from repro.hardware.energy_sim import ModeAssignment
+        from repro.hardware.latency import SparsityKind
+
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        res = rt3.search()
+        e1 = rt3.simulator.single_level_campaign(
+            ModeAssignment("l6", res.backbone_report.overall_sparsity,
+                           SparsityKind.BLOCK),
+            rt3.cfg.deadline_s,
+        )
+        if res.best.terms.deadline_met:
+            assert res.final_total_runs > e1.total_runs
+
+    def test_pareto_points_non_dominated(self, trained_lm):
+        from repro.core.pareto import dominates
+
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg(episodes=4))
+        res = rt3.search()
+        front = res.pareto_points
+        for p in front:
+            assert not any(dominates(q, p) for q in front if q != p)
+
+
+class TestAlphaModes:
+    def test_governor_alpha_weights_high_level_most(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(),
+                  small_cfg(alpha="governor"))
+        rt3.run_level1()
+        rt3.build_space()
+        cfg = rt3._reward_config(0.5)
+        # high level first: l6 gets the governor's 60% energy share
+        assert cfg.alpha[0] == pytest.approx(0.60)
+        assert cfg.alpha[-1] == pytest.approx(0.15)
+
+    def test_unknown_alpha_mode_rejected(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(),
+                  small_cfg(alpha="bogus"))
+        rt3.run_level1()
+        rt3.build_space()
+        with pytest.raises(ValueError):
+            rt3._reward_config(0.5)
+
+
+class TestBaselines:
+    def test_heuristic_requires_space(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        with pytest.raises(RuntimeError):
+            rt3.heuristic()
+
+    def test_heuristic_solution_feasible(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        rt3.run_level1()
+        rt3.build_space()
+        sol = rt3.heuristic()
+        assert sol.terms.deadline_met
+
+    def test_upper_bound_restores_weights(self, trained_lm):
+        rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
+        rt3.run_level1()
+        rt3.build_space()
+        sets = rt3.space.heuristic_choice()
+        before = {k: v.copy() for k, v in trained_lm.model.state_dict().items()}
+        ub = rt3.upper_bound(sets, TrainConfig(epochs=1, lr=2e-3))
+        assert set(ub) == {"l3", "l4", "l6"}
+        after = trained_lm.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+
+class TestGlueIntegration:
+    def test_search_on_rte(self, rte_task):
+        from repro.hardware.workload import paper_scale_distilbert
+
+        train_plain(rte_task, epochs=2, lr=3e-3)
+        cfg = small_cfg(deadline_s=0.200, episodes=2)
+        rt3 = RT3(rte_task, paper_scale_distilbert(), cfg)
+        res = rt3.search()
+        assert set(res.final_accuracies) == {"l3", "l4", "l6"}
+
+    def test_search_on_stsb_regression(self, stsb_task):
+        from repro.hardware.workload import paper_scale_distilbert
+
+        train_plain(stsb_task, epochs=2, lr=3e-3)
+        cfg = small_cfg(deadline_s=0.330, episodes=2,
+                        min_accuracy=-1.0)  # spearman can be negative
+        rt3 = RT3(stsb_task, paper_scale_distilbert(), cfg)
+        res = rt3.search()
+        assert np.isfinite(list(res.final_accuracies.values())).all()

@@ -1,0 +1,204 @@
+"""Edge cases across packages: unusual shapes, level subsets, degenerate
+configurations — behaviours a downstream user will eventually hit."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
+from repro.core.patterns import MaskManager, Pattern, PatternSet, random_pattern_set
+from repro.hardware.dvfs import BatteryGovernor, DVFSTable
+from repro.hardware.energy_sim import EnergySimulator, ModeAssignment
+from repro.hardware.latency import SparsityKind
+from repro.hardware.workload import paper_scale_distilbert, profile_from_model
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class TestTensorEdges:
+    def test_cross_entropy_3d_logits(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(2, 5, 7)),
+                        requires_grad=True)
+        targets = np.random.default_rng(1).integers(0, 7, size=(2, 5))
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        assert logits.grad.shape == (2, 5, 7)
+        # gradient rows sum to ~0 (softmax minus one-hot property)
+        assert np.allclose(logits.grad.sum(axis=-1), 0.0, atol=1e-12)
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = F.stack([a, b], axis=0)
+        F.sum(F.mul(out, 2.0)).backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_embedding_with_tensor_indices(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        idx = Tensor(np.array([3, 0]))
+        out = F.embedding(w, idx)
+        assert np.allclose(out.data[0], [9, 10, 11])
+
+    def test_getitem_tuple_of_slices(self):
+        t = Tensor(np.arange(24.0).reshape(4, 6), requires_grad=True)
+        sub = t[1:3, 2:4]
+        F.sum(sub).backward()
+        assert t.grad.sum() == 4.0
+        assert t.grad[1, 2] == 1.0 and t.grad[0, 0] == 0.0
+
+    def test_scalar_tensor_arithmetic(self):
+        s = Tensor(np.asarray(2.0), requires_grad=True)
+        out = F.mul(F.add(s, 1.0), 3.0)
+        out.backward()
+        assert s.grad == 3.0
+
+    def test_zero_size_batch_matmul(self):
+        a = Tensor(np.zeros((0, 3)))
+        b = Tensor(np.zeros((3, 4)))
+        assert F.matmul(a, b).shape == (0, 4)
+
+
+class TestPatternEdges:
+    def test_one_by_one_tiles(self):
+        # pattern of size 2 on a 3x3 matrix: padding everywhere
+        w = np.random.default_rng(0).normal(size=(3, 3))
+        ps = PatternSet([Pattern(np.eye(2))])
+        from repro.core.patterns import pattern_mask_for_matrix
+
+        mask, ids = pattern_mask_for_matrix(w, ps)
+        assert mask.shape == (3, 3)
+        assert ids.shape == (2, 2)
+
+    def test_all_ones_pattern_keeps_everything(self):
+        w = np.random.default_rng(1).normal(size=(8, 8))
+        ps = PatternSet([Pattern(np.ones((4, 4)))])
+        from repro.core.patterns import pattern_mask_for_matrix
+
+        mask, _ = pattern_mask_for_matrix(w, ps)
+        assert mask.sum() == 64
+
+    def test_pattern_set_subset_with_repeats(self):
+        ps = random_pattern_set(4, 0.5, 3, np.random.default_rng(2))
+        sub = ps.subset([0, 0])
+        assert len(sub) == 2
+        assert sub[0] == sub[1]
+
+    def test_mask_manager_idempotent_apply(self, tiny_transformer):
+        report = apply_block_pruning(tiny_transformer,
+                                     BlockPruningConfig(num_blocks=2, rate=0.3))
+        mgr = MaskManager(tiny_transformer, report.masks)
+        ps = random_pattern_set(8, 0.5, 2, np.random.default_rng(3))
+        mgr.apply(ps)
+        s1 = mgr.combined_sparsity()
+        mgr.apply(ps)
+        assert mgr.combined_sparsity() == pytest.approx(s1)
+
+
+class TestHardwareEdges:
+    def test_single_level_table_governor(self):
+        table = DVFSTable().subset(["l4"])
+        gov = BatteryGovernor(table, thresholds=())
+        assert gov.level_for(0.5).name == "l4"
+        assert gov.energy_fractions() == [1.0]
+
+    def test_single_level_campaign_via_run_campaign(self):
+        from repro.hardware.workload import paper_scale_transformer
+
+        table = DVFSTable().subset(["l4"])
+        sim = EnergySimulator(paper_scale_transformer(), table,
+                              governor=BatteryGovernor(table, ()))
+        res = sim.run_campaign([ModeAssignment("l4", 0.5, SparsityKind.PATTERN)],
+                               deadline_s=1.0, charge_switches=False)
+        assert res.total_runs > 0
+        assert len(res.outcomes) == 1
+
+    def test_two_level_subset(self):
+        from repro.hardware.workload import paper_scale_transformer
+
+        table = DVFSTable().subset(["l2", "l5"])
+        gov = BatteryGovernor(table, thresholds=(0.3,))
+        sim = EnergySimulator(paper_scale_transformer(), table, governor=gov)
+        res = sim.run_campaign(
+            [ModeAssignment("l2", 0.7, SparsityKind.PATTERN),
+             ModeAssignment("l5", 0.4, SparsityKind.PATTERN)],
+            deadline_s=1.0, charge_switches=False)
+        assert set(res.runs_by_level()) == {"l2", "l5"}
+
+    def test_tiny_budget_still_counts_fractional_runs(self):
+        from repro.hardware.workload import paper_scale_transformer
+
+        table = DVFSTable().subset(["l6"])
+        sim = EnergySimulator(paper_scale_transformer(), table,
+                              governor=BatteryGovernor(table, ()))
+        res = sim.single_level_campaign(ModeAssignment("l6"), 1.0, budget_j=1e-6)
+        assert 0 < res.total_runs < 1
+
+    def test_profile_from_distilbert(self, tiny_distilbert):
+        prof = profile_from_model(tiny_distilbert, seq_len=10)
+        assert prof.macs > 0
+        assert prof.params < prof.total_params
+
+    def test_paper_distilbert_vs_transformer_reload(self):
+        """DistilBERT's checkpoint is smaller -> faster UB reload."""
+        from repro.hardware.runtime import RuntimeReconfigurator
+        from repro.hardware.workload import paper_scale_transformer
+
+        rc = RuntimeReconfigurator()
+        t = rc.model_reload(paper_scale_transformer()).seconds
+        d = rc.model_reload(paper_scale_distilbert()).seconds
+        assert d < t
+
+
+class TestRT3LevelSubsets:
+    def test_search_with_two_levels(self, lm_task):
+        from repro.core import (BlockPruningConfig, ControllerConfig, RT3,
+                                RT3Config, SearchSpaceConfig)
+        from repro.core.trainer import TrainConfig, train_plain
+        from repro.hardware.workload import paper_scale_transformer
+
+        train_plain(lm_task, epochs=1, lr=3e-3)
+        cfg = RT3Config(
+            deadline_s=0.104, episodes=2, level_names=("l4", "l6"),
+            bp=BlockPruningConfig(num_blocks=2, rate=0.3),
+            space=SearchSpaceConfig(pattern_size=8, theta=2, patterns_per_set=2),
+            controller=ControllerConfig(seed=0),
+            episode_train=TrainConfig(epochs=1, lr=2e-3),
+            finetune_train=TrainConfig(epochs=1, lr=2e-3),
+            backbone_finetune_epochs=0,
+        )
+        rt3 = RT3(lm_task, paper_scale_transformer(), cfg)
+        res = rt3.search()
+        assert set(res.final_accuracies) == {"l4", "l6"}
+
+    def test_rewards_with_two_levels_use_two_accs(self, lm_task):
+        from repro.core.reward import RewardConfig, compute_reward
+
+        cfg = RewardConfig(backbone_accuracy=0.9, min_accuracy=0.1,
+                           deadline_s=0.2, runs_ref=1e6)
+        terms = compute_reward(cfg, [0.1, 0.15], 5e5, [0.8, 0.7])
+        assert terms.deadline_met
+        assert len(terms.accuracies) == 2
+
+
+class TestGlueTaskMatrix:
+    """Every GLUE task type trains for one epoch without error."""
+
+    @pytest.mark.parametrize("task_name", ["cola", "sst2", "mrpc", "qqp",
+                                           "mnli", "qnli", "wnli"])
+    def test_task_trains_and_scores(self, task_name):
+        from repro.core.tasks import GlueTask
+        from repro.core.trainer import train_plain
+        from repro.data.glue import GlueTaskConfig, SyntheticGlueTask
+        from repro.nn.distilbert import DistilBertConfig, DistilBertForSequenceTask
+
+        data = SyntheticGlueTask(GlueTaskConfig(
+            task=task_name, vocab_size=60, num_train=32, num_eval=16, seq_len=12))
+        cfg = DistilBertConfig(
+            vocab_size=60, dim=16, num_heads=2, ffn_dim=32, num_layers=1,
+            max_len=16, dropout=0.0, num_labels=max(data.num_labels, 2),
+            is_regression=data.is_regression)
+        task = GlueTask(DistilBertForSequenceTask(cfg), data, batch_size=8)
+        losses = train_plain(task, epochs=1, lr=3e-3)
+        assert np.isfinite(losses[0])
+        score = task.evaluate()
+        assert -1.0 <= score <= 1.0

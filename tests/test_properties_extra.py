@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the sparse, energy and text pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.tokenizer import build_vocab, tokenize
+from repro.hardware.dvfs import DVFSTable
+from repro.hardware.energy_sim import EnergySimulator, ModeAssignment
+from repro.hardware.latency import SparsityKind
+from repro.hardware.workload import paper_scale_transformer
+from repro.sparse import (
+    block_matmul,
+    coo_matmul,
+    dense_matmul,
+    from_dense_block,
+    from_dense_coo,
+)
+
+FINITE = dict(allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# sparse format round-trips under arbitrary masks
+# ---------------------------------------------------------------------------
+@given(
+    rows=st.integers(2, 20),
+    cols=st.integers(2, 20),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_coo_round_trip_any_sparsity(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    coo = from_dense_coo(w)
+    assert np.array_equal(coo.to_dense(), w)
+    assert coo.nnz == np.count_nonzero(w)
+
+
+@given(
+    rows=st.integers(4, 24),
+    cols=st.integers(2, 16),
+    blocks=st.integers(1, 4),
+    density=st.floats(0.1, 1.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_block_format_round_trip_and_kernel(rows, cols, blocks, density, seed):
+    blocks = min(blocks, rows)
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    bc = from_dense_block(w, blocks)
+    assert np.allclose(bc.to_dense(), w)
+    x = rng.normal(size=(cols, 2))
+    expected, _ = dense_matmul(w, x)
+    got, counter = block_matmul(bc, x)
+    assert np.allclose(got, expected)
+    assert counter.macs <= rows * cols * 2  # never more work than dense
+
+
+@given(
+    rows=st.integers(2, 16),
+    cols=st.integers(2, 16),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_coo_kernel_matches_dense(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < 0.5)
+    x = rng.normal(size=(cols, 3))
+    expected, _ = dense_matmul(w, x)
+    got, _ = coo_matmul(from_dense_coo(w), x)
+    assert np.allclose(got, expected)
+
+
+# ---------------------------------------------------------------------------
+# energy accounting invariants
+# ---------------------------------------------------------------------------
+@given(
+    budget=st.floats(1e3, 1e6),
+    sparsity=st.floats(0.0, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_runs_linear_in_budget(budget, sparsity):
+    sim = EnergySimulator(paper_scale_transformer(), DVFSTable().subset(["l3", "l4", "l6"]))
+    a = sim.single_level_campaign(
+        ModeAssignment("l6", sparsity, SparsityKind.PATTERN), 1.0, budget_j=budget)
+    b = sim.single_level_campaign(
+        ModeAssignment("l6", sparsity, SparsityKind.PATTERN), 1.0, budget_j=2 * budget)
+    assert b.total_runs == pytest.approx(2 * a.total_runs)
+
+
+@given(s_low=st.floats(0.0, 0.5), delta=st.floats(0.05, 0.45))
+@settings(max_examples=30, deadline=None)
+def test_more_sparsity_never_fewer_runs(s_low, delta):
+    sim = EnergySimulator(paper_scale_transformer(), DVFSTable().subset(["l3", "l4", "l6"]))
+    lo = sim.single_level_campaign(
+        ModeAssignment("l6", s_low, SparsityKind.PATTERN), 1.0)
+    hi = sim.single_level_campaign(
+        ModeAssignment("l6", s_low + delta, SparsityKind.PATTERN), 1.0)
+    assert hi.total_runs >= lo.total_runs
+
+
+@given(
+    fracs=st.tuples(st.floats(0.05, 0.45), st.floats(0.5, 0.95)),
+)
+@settings(max_examples=30, deadline=None)
+def test_campaign_runs_sum_of_levels(fracs):
+    from repro.hardware.dvfs import BatteryGovernor
+
+    table = DVFSTable().subset(["l3", "l4", "l6"])
+    gov = BatteryGovernor(table, thresholds=sorted(fracs))
+    sim = EnergySimulator(paper_scale_transformer(), table, governor=gov)
+    res = sim.run_campaign(
+        [ModeAssignment(n, 0.5, SparsityKind.PATTERN) for n in table.names()],
+        1.0, charge_switches=False)
+    assert res.total_runs == pytest.approx(sum(o.runs for o in res.outcomes))
+
+
+# ---------------------------------------------------------------------------
+# tokenizer invariants
+# ---------------------------------------------------------------------------
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd", "Po", "Zs")),
+               max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_tokenize_never_returns_whitespace(text):
+    for token in tokenize(text):
+        assert token.strip() == token
+        assert token != ""
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "dd", "ee"]), min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_vocab_encode_decode_identity_for_known_tokens(tokens):
+    vocab = build_vocab(tokens)
+    assert vocab.decode(vocab.encode(tokens)) == tokens

@@ -1,0 +1,108 @@
+"""SparseExecutor: per-layer kernel audits and predictor cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
+from repro.core.patterns import MaskManager, random_pattern_set
+from repro.sparse import ModelAudit, SparseExecutor, compare_formats
+from repro.sparse.kernels import OpCounter
+
+
+@pytest.fixture()
+def bp_model(tiny_transformer):
+    apply_block_pruning(tiny_transformer, BlockPruningConfig(num_blocks=2, rate=0.5))
+    return tiny_transformer
+
+
+class TestExecutorValidation:
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            SparseExecutor("csr")
+
+    def test_pattern_needs_set(self):
+        with pytest.raises(ValueError):
+            SparseExecutor("pattern")
+
+    def test_no_prunable_layers(self):
+        from repro.nn.layers import Linear
+        from repro.nn.module import Module
+
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(2, 2)
+
+        with pytest.raises(ValueError):
+            SparseExecutor("dense").audit(Tiny())
+
+
+class TestAudits:
+    def test_dense_audit_counts_all_macs(self, tiny_transformer):
+        audit = SparseExecutor("dense", batch=2).audit(tiny_transformer)
+        expected = sum(l.shape[0] * l.shape[1] * 2 for l in audit.layers)
+        assert audit.total.macs == expected
+        assert audit.all_correct
+
+    def test_block_audit_correct_and_cheaper(self, bp_model):
+        dense = SparseExecutor("dense", batch=2).audit(bp_model)
+        block = SparseExecutor("block", num_blocks=2, batch=2).audit(bp_model)
+        assert block.all_correct
+        assert block.total.macs < dense.total.macs
+        assert block.overall_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_coo_audit_correct_but_index_heavy(self, bp_model):
+        coo = SparseExecutor("coo", batch=2).audit(bp_model)
+        block = SparseExecutor("block", num_blocks=2, batch=2).audit(bp_model)
+        assert coo.all_correct
+        assert coo.total.macs == block.total.macs
+        assert coo.total.index_ops > 10 * block.total.index_ops
+
+    def test_pattern_audit_applies_set(self, bp_model):
+        ps = random_pattern_set(8, 0.5, 3, np.random.default_rng(0))
+        audit = SparseExecutor("pattern", pattern_set=ps, batch=2).audit(bp_model)
+        assert audit.all_correct
+        # pattern over the BP-masked weights: combined sparsity >= 0.5
+        assert audit.overall_sparsity >= 0.45
+
+    def test_compare_formats_keys(self, bp_model):
+        ps = random_pattern_set(8, 0.4, 2, np.random.default_rng(1))
+        audits = compare_formats(bp_model, num_blocks=2, pattern_set=ps, batch=2)
+        assert set(audits) == {"dense", "coo", "block", "pattern"}
+        assert all(a.all_correct for a in audits.values())
+
+    def test_model_audit_totals(self):
+        audit = ModelAudit()
+        from repro.sparse.executor import LayerAudit
+
+        audit.layers.append(LayerAudit("a", "dense", (4, 4), 0.0,
+                                       OpCounter(10, 2, 1), 0.0))
+        audit.layers.append(LayerAudit("b", "dense", (4, 4), 0.5,
+                                       OpCounter(5, 1, 1), 0.0))
+        assert audit.total.macs == 15
+        assert audit.total.index_ops == 3
+        assert audit.overall_sparsity == pytest.approx(0.25)
+
+
+class TestPredictorCrossValidation:
+    def test_kernel_macs_track_latency_model(self, bp_model):
+        """The analytic predictor and the executable kernels must agree on
+        the *relative* cost of sparsities (correlation of MACs vs predicted
+        cycles across sparsity levels)."""
+        from repro.hardware.latency import LatencyModel, SparsityKind
+        from repro.hardware.workload import profile_from_model
+
+        lm = LatencyModel()
+        mac_counts, predicted = [], []
+        for rate in (0.2, 0.4, 0.6, 0.8):
+            from repro.nn.transformer import TransformerLM
+            from tests.conftest import TINY_TRANSFORMER
+
+            model = TransformerLM(TINY_TRANSFORMER)
+            apply_block_pruning(model, BlockPruningConfig(num_blocks=2, rate=rate))
+            audit = SparseExecutor("block", num_blocks=2, batch=1).audit(model)
+            mac_counts.append(audit.total.macs)
+            wl = profile_from_model(model, seq_len=1)
+            predicted.append(lm.cycles(wl, audit.overall_sparsity, SparsityKind.BLOCK))
+        corr = np.corrcoef(mac_counts, predicted)[0, 1]
+        assert corr > 0.99

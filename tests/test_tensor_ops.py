@@ -1,0 +1,307 @@
+"""Forward correctness + gradient checks for every functional op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.gradcheck import gradcheck
+from repro.tensor.tensor import Tensor
+
+
+def make(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(scale=scale, size=shape), requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = F.add(Tensor([1.0, 2.0]), Tensor([3.0, 4.0]))
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_sub(self):
+        assert np.allclose(F.sub(Tensor([3.0]), 1.0).data, [2.0])
+
+    def test_mul_broadcast(self):
+        out = F.mul(Tensor(np.ones((2, 3))), Tensor([1.0, 2.0, 3.0]))
+        assert np.allclose(out.data, [[1, 2, 3], [1, 2, 3]])
+
+    def test_div(self):
+        assert np.allclose(F.div(Tensor([6.0]), Tensor([2.0])).data, [3.0])
+
+    def test_power(self):
+        assert np.allclose(F.power(Tensor([2.0]), 3).data, [8.0])
+
+    def test_exp_log_inverse(self):
+        x = np.array([0.5, 1.5])
+        assert np.allclose(F.log(F.exp(Tensor(x))).data, x)
+
+    def test_sqrt(self):
+        assert np.allclose(F.sqrt(Tensor([4.0, 9.0])).data, [2.0, 3.0])
+
+    def test_tanh_range(self):
+        out = F.tanh(Tensor(np.linspace(-5, 5, 11)))
+        assert np.all(np.abs(out.data) < 1.0)
+
+    def test_sigmoid_symmetry(self):
+        out = F.sigmoid(Tensor([0.0]))
+        assert np.allclose(out.data, [0.5])
+
+    def test_relu(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_gelu_known_values(self):
+        # GELU(0) = 0; GELU(large) ~ identity; GELU(-large) ~ 0
+        out = F.gelu(Tensor([0.0, 10.0, -10.0]))
+        assert abs(out.data[0]) < 1e-12
+        assert abs(out.data[1] - 10.0) < 1e-3
+        assert abs(out.data[2]) < 1e-3
+
+    def test_maximum(self):
+        out = F.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        assert np.allclose(out.data, [3.0, 5.0])
+
+    def test_where(self):
+        out = F.where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_sum_axis(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(F.sum(t, axis=0).data, [3.0, 5.0, 7.0])
+        assert np.allclose(F.sum(t, axis=1, keepdims=True).data, [[3.0], [12.0]])
+
+    def test_mean_axis(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(F.mean(t, axis=1).data, [1.0, 4.0])
+
+    def test_max_reduction(self):
+        t = Tensor(np.array([[1.0, 9.0], [4.0, 2.0]]))
+        assert np.allclose(F.max(t, axis=1).data, [9.0, 4.0])
+
+    def test_matmul_batched(self):
+        a = np.random.default_rng(0).normal(size=(2, 3, 4))
+        b = np.random.default_rng(1).normal(size=(2, 4, 5))
+        out = F.matmul(Tensor(a), Tensor(b))
+        assert np.allclose(out.data, a @ b)
+
+    def test_reshape_transpose_roundtrip(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        back = F.transpose(F.transpose(t, (2, 0, 1)), (1, 2, 0))
+        assert np.allclose(back.data, t.data)
+
+    def test_swapaxes(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert F.swapaxes(t, 0, 1).shape == (3, 2)
+
+    def test_cat(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((3, 2)))
+        out = F.cat([a, b], axis=0)
+        assert out.shape == (5, 2)
+
+    def test_stack(self):
+        a, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        out = F.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(make((4, 7)), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_stability_large_logits(self):
+        out = F.softmax(Tensor([1000.0, 1000.0]))
+        assert np.allclose(out.data, [0.5, 0.5])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = make((3, 5), seed=2)
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        assert np.allclose(float(loss.data), np.log(4.0))
+
+    def test_cross_entropy_sum_reduction(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 3]), reduction="sum")
+        assert np.allclose(float(loss.data), 2 * np.log(4.0))
+
+    def test_cross_entropy_bad_reduction(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]), reduction="bogus")
+
+    def test_mse_loss(self):
+        loss = F.mse_loss(Tensor([1.0, 3.0]), np.array([1.0, 1.0]))
+        assert np.allclose(float(loss.data), 2.0)
+
+    def test_embedding_gathers_rows(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.embedding(w, np.array([[0, 2]]))
+        assert np.allclose(out.data, [[[0, 1, 2], [6, 7, 8]]])
+
+    def test_masked_fill(self):
+        out = F.masked_fill(Tensor(np.ones((2, 2))), np.array([[True, False], [False, True]]), -9.0)
+        assert np.allclose(out.data, [[-9, 1], [1, -9]])
+
+    def test_dropout_eval_identity(self):
+        x = make((5, 5))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_dropout_zero_p_identity(self):
+        x = make((5, 5))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_dropout_scales_kept(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data[out.data != 0]
+        assert np.allclose(kept, 2.0)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_p_one_rejected(self):
+        with pytest.raises(ValueError):
+            F.dropout(make((2,)), 1.0, training=True)
+
+
+GRADCHECK_CASES = [
+    ("add", lambda a, b: F.sum(F.add(a, b)), [(3, 4), (3, 4)]),
+    ("add-broadcast", lambda a, b: F.sum(F.add(a, b)), [(3, 4), (4,)]),
+    ("sub", lambda a, b: F.sum(F.sub(a, b)), [(2, 3), (2, 3)]),
+    ("mul", lambda a, b: F.sum(F.mul(a, b)), [(3, 4), (3, 4)]),
+    ("mul-broadcast", lambda a, b: F.sum(F.mul(a, b)), [(2, 3, 4), (4,)]),
+    ("div", lambda a, b: F.sum(F.div(a, F.add(F.mul(b, b), 1.0))), [(3,), (3,)]),
+    ("matmul", lambda a, b: F.sum(F.matmul(a, b)), [(3, 4), (4, 5)]),
+    ("matmul-batched", lambda a, b: F.sum(F.matmul(a, b)), [(2, 3, 4), (2, 4, 5)]),
+    ("matmul-bcast-b", lambda a, b: F.sum(F.matmul(a, b)), [(2, 3, 4), (4, 5)]),
+]
+
+
+@pytest.mark.parametrize("name,fn,shapes", GRADCHECK_CASES, ids=[c[0] for c in GRADCHECK_CASES])
+def test_binary_gradients(name, fn, shapes):
+    a, b = make(shapes[0], seed=1), make(shapes[1], seed=2)
+    assert gradcheck(lambda: fn(a, b), [a, b])
+
+
+UNARY_CASES = [
+    ("exp", F.exp, 0.5),
+    ("tanh", F.tanh, 1.0),
+    ("sigmoid", F.sigmoid, 1.0),
+    ("relu", F.relu, 1.0),
+    ("gelu", F.gelu, 1.0),
+    ("power2", lambda t: F.power(t, 2.0), 1.0),
+    ("softmax", lambda t: F.mul(F.softmax(t, axis=-1), t), 1.0),
+    ("log_softmax", lambda t: F.mul(F.log_softmax(t, axis=-1), t), 1.0),
+]
+
+
+@pytest.mark.parametrize("name,op,scale", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+def test_unary_gradients(name, op, scale):
+    # offset relu/gelu inputs away from the kink at 0
+    x = make((4, 5), seed=3, scale=scale)
+    x.data += np.sign(x.data) * 0.05
+    assert gradcheck(lambda: F.sum(op(x)), [x], atol=1e-4)
+
+
+def test_log_gradient():
+    x = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+    assert gradcheck(lambda: F.sum(F.log(x)), [x])
+
+
+def test_sqrt_gradient():
+    x = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+    assert gradcheck(lambda: F.sum(F.sqrt(x)), [x])
+
+
+@pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False), (1, True), (-1, False)])
+def test_sum_gradient(axis, keepdims):
+    x = make((3, 4), seed=4)
+    assert gradcheck(lambda: F.sum(F.mul(F.sum(x, axis=axis, keepdims=keepdims), 2.0)), [x])
+
+
+@pytest.mark.parametrize("axis", [None, 0, 1])
+def test_mean_gradient(axis):
+    x = make((3, 4), seed=5)
+    assert gradcheck(lambda: F.sum(F.mean(x, axis=axis)), [x])
+
+
+def test_max_gradient_no_ties():
+    x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    assert gradcheck(lambda: F.sum(F.max(x, axis=1)), [x])
+
+
+def test_max_gradient_split_on_ties():
+    x = Tensor(np.ones((1, 4)), requires_grad=True)
+    F.sum(F.max(x, axis=1)).backward()
+    assert np.allclose(x.grad, 0.25)
+
+
+def test_reshape_gradient():
+    x = make((2, 6), seed=6)
+    assert gradcheck(lambda: F.sum(F.mul(F.reshape(x, (3, 4)), 3.0)), [x])
+
+
+def test_transpose_gradient():
+    x = make((2, 3, 4), seed=7)
+    const = np.random.default_rng(20).normal(size=(4, 2, 3))
+    assert gradcheck(lambda: F.sum(F.mul(F.transpose(x, (2, 0, 1)), Tensor(const))), [x])
+
+
+def test_getitem_gradient():
+    x = make((4, 3), seed=8)
+    assert gradcheck(lambda: F.sum(x[1:3]), [x])
+
+
+def test_getitem_fancy_index_gradient_accumulates():
+    x = Tensor(np.zeros((3, 2)), requires_grad=True)
+    out = x[np.array([0, 0, 1])]
+    F.sum(out).backward()
+    assert np.allclose(x.grad, [[2, 2], [1, 1], [0, 0]])
+
+
+def test_cat_gradient():
+    a, b = make((2, 3), seed=9), make((4, 3), seed=10)
+    assert gradcheck(lambda: F.sum(F.mul(F.cat([a, b], axis=0), 2.0)), [a, b])
+
+
+def test_embedding_gradient():
+    w = make((5, 3), seed=11)
+    idx = np.array([0, 2, 2, 4])
+    assert gradcheck(lambda: F.sum(F.embedding(w, idx)), [w])
+
+
+def test_cross_entropy_gradient():
+    logits = make((4, 6), seed=12)
+    targets = np.array([0, 5, 2, 2])
+    assert gradcheck(lambda: F.cross_entropy(logits, targets), [logits])
+
+
+def test_mse_gradient():
+    pred = make((7,), seed=13)
+    target = np.random.default_rng(14).normal(size=7)
+    assert gradcheck(lambda: F.mse_loss(pred, target), [pred])
+
+
+def test_masked_fill_gradient():
+    x = make((3, 3), seed=15)
+    mask = np.eye(3, dtype=bool)
+    assert gradcheck(lambda: F.sum(F.masked_fill(x, mask, -5.0)), [x])
+
+
+def test_maximum_gradient():
+    a, b = make((4,), seed=16), make((4,), seed=17)
+    assert gradcheck(lambda: F.sum(F.maximum(a, b)), [a, b])
+
+
+def test_where_gradient():
+    a, b = make((4,), seed=18), make((4,), seed=19)
+    cond = np.array([True, False, True, False])
+    assert gradcheck(lambda: F.sum(F.where(cond, a, b)), [a, b])
+
+
+def test_dropout_gradient_matches_mask():
+    rng = np.random.default_rng(3)
+    x = Tensor(np.ones((10, 10)), requires_grad=True)
+    out = F.dropout(x, 0.3, training=True, rng=rng)
+    F.sum(out).backward()
+    # gradient equals the applied keep/scale mask
+    assert np.allclose(x.grad, out.data)
