@@ -11,7 +11,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pareto import front_covers, pareto_front
+from repro.core.pareto import pareto_front
 from repro.core.rt3 import RT3
 from repro.hardware.workload import paper_scale_transformer
 

@@ -12,7 +12,7 @@ from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
 from repro.core.trainer import train_plain
 from repro.data.glue import GLUE_TASKS
 
-from benchmarks.common import fmt_pct, make_glue_task, make_lm_task, write_result
+from benchmarks.common import make_glue_task, make_lm_task, write_result
 
 # pruning rate per task, mirroring the paper's per-task compression choices
 RATES = {"wikitext2": 0.45, "mnli": 0.4, "qqp": 0.5, "qnli": 0.4, "sst2": 0.5,

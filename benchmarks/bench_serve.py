@@ -1,0 +1,154 @@
+"""Serving bench: batched + cached engine vs the single-request path.
+
+Serves the same steady-traffic trace twice through the masked model:
+
+- **baseline** — ``max_batch=1``, no artifact cache: one adapter call,
+  one mask re-derivation and one forward pass per request (the repo's
+  original single-request behaviour);
+- **batched**  — ``max_batch=8`` with the LRU artifact cache: one
+  adapter call and one padded, vectorized forward per micro-batch, mask
+  installs served from cache after warm-up.
+
+Reported: measured throughput (req/s) for both paths and the speedup,
+simulated p50/p95 latency against the SLO, cache hit rate, and the
+worst absolute deviation between batched and per-request outputs
+(must be exact to double precision).  Machine-readable numbers land in
+``benchmarks/results/BENCH_serve.json`` so future PRs can regress
+against them.
+
+Run directly (``python benchmarks/bench_serve.py [--smoke]``) or via
+pytest for the asserted shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+if __package__ in (None, ""):  # run as a script: python benchmarks/bench_serve.py
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from repro.serve import (
+    ScenarioConfig,
+    ServeReport,
+    StackConfig,
+    build_scenario,
+    build_serving_stack,
+)
+
+from benchmarks.common import write_json_result, write_result
+
+
+def serve_scenario(scenario: str, num_requests: int, *, max_batch: int,
+                   use_cache: bool, seed: int = 0,
+                   verify: bool = False) -> ServeReport:
+    """Serve a named scenario through the shared demo stack."""
+    _, workload, engine = build_serving_stack(StackConfig(
+        seed=seed, max_batch=max_batch, use_cache=use_cache, verify=verify))
+    trace = build_scenario(scenario, workload,
+                           ScenarioConfig(num_requests=num_requests, seed=seed))
+    return engine.serve(trace)
+
+
+def run_comparison(num_requests: int = 96, batch: int = 8, seed: int = 0) -> dict:
+    """Baseline vs batched on the steady scenario; returns the digest."""
+    baseline = serve_scenario("steady", num_requests, max_batch=1,
+                              use_cache=False, seed=seed)
+    batched = serve_scenario("steady", num_requests, max_batch=batch,
+                             use_cache=True, seed=seed, verify=True)
+    # cross-check: the batched engine must reproduce the baseline's outputs
+    cross_err = max(
+        (float(np.abs(b.output - s.output).max())
+         for b, s in zip(sorted(batched.results, key=lambda r: r.request.req_id),
+                         sorted(baseline.results, key=lambda r: r.request.req_id))),
+        default=0.0)
+    return {
+        "scenario": "steady",
+        "requests": num_requests,
+        "batch_size": batch,
+        "baseline_throughput_rps": baseline.throughput_rps,
+        "batched_throughput_rps": batched.throughput_rps,
+        "speedup": (batched.throughput_rps / baseline.throughput_rps
+                    if baseline.throughput_rps else float("inf")),
+        "p50_latency_ms": 1e3 * batched.p50_latency_s,
+        "p95_latency_ms": 1e3 * batched.p95_latency_s,
+        "slo_hit_rate": batched.deadline_hit_rate,
+        "cache_hit_rate": batched.cache_stats.hit_rate,
+        "mean_batch_size": batched.mean_batch_size,
+        "max_batch_vs_single_error": batched.max_verify_error,
+        "max_cross_engine_error": cross_err,
+    }
+
+
+def render(digest: dict) -> str:
+    rows = [
+        f"{'path':<22} {'req/s':>10} {'p50 ms':>8} {'p95 ms':>8} {'SLO':>6} {'cache':>6}",
+        "-" * 66,
+        (f"{'single-request':<22} {digest['baseline_throughput_rps']:>10.0f} "
+         f"{'-':>8} {'-':>8} {'-':>6} {'-':>6}"),
+        (f"{'batched (B=' + str(digest['batch_size']) + ', cached)':<22} "
+         f"{digest['batched_throughput_rps']:>10.0f} "
+         f"{digest['p50_latency_ms']:>8.2f} {digest['p95_latency_ms']:>8.2f} "
+         f"{100 * digest['slo_hit_rate']:>5.0f}% "
+         f"{100 * digest['cache_hit_rate']:>5.0f}%"),
+        "",
+        f"speedup: {digest['speedup']:.2f}x  "
+        f"(exactness: batch-vs-single {digest['max_batch_vs_single_error']:.2e}, "
+        f"cross-engine {digest['max_cross_engine_error']:.2e})",
+    ]
+    return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+def test_serve_shape():
+    digest = run_comparison(num_requests=96, batch=8)
+    write_result("serve_throughput", render(digest))
+    write_json_result("serve", digest)
+    # acceptance: batching wins >= 3x, cache serves the steady traffic,
+    # and batching changes no output
+    assert digest["speedup"] >= 3.0
+    assert digest["cache_hit_rate"] > 0.80
+    assert digest["max_batch_vs_single_error"] < 1e-9
+    assert digest["max_cross_engine_error"] < 1e-9
+    assert digest["slo_hit_rate"] == 1.0
+
+
+def test_bench_batched_forward(benchmark):
+    _, workload, engine = build_serving_stack(StackConfig(max_batch=8))
+    trace = build_scenario("steady", workload, ScenarioConfig(num_requests=32))
+    result = benchmark(engine.serve, trace)
+    assert result.num_requests == 32
+
+
+# ---------------------------------------------------------------------------
+# script entry point (CI smoke job)
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, fast run for CI (48 requests)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    num = args.requests or (48 if args.smoke else 96)
+    digest = run_comparison(num_requests=num, batch=args.batch, seed=args.seed)
+    write_result("serve_throughput", render(digest))
+    write_json_result("serve", digest)
+    ok = (digest["max_batch_vs_single_error"] < 1e-9
+          and digest["cache_hit_rate"] > 0.5
+          and digest["speedup"] > 1.0)
+    print(f"smoke {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

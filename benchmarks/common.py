@@ -12,10 +12,10 @@ Absolute numbers are not expected to match the authors' testbed; the
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict
 
-import numpy as np
 
 from repro.core.controller import ControllerConfig
 from repro.core.block_pruning import BlockPruningConfig
@@ -37,6 +37,20 @@ def write_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====")
     print(text)
+
+
+def write_json_result(name: str, payload: Dict) -> pathlib.Path:
+    """Persist a machine-readable bench result as ``BENCH_<name>.json``.
+
+    These files give later PRs a perf trajectory to regress against:
+    CI archives them, and a future bench can diff its numbers against
+    the committed history.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] machine-readable result -> {path}")
+    return path
 
 
 # ---------------------------------------------------------------------------

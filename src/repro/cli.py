@@ -7,6 +7,8 @@ Commands:
 - ``rt3 search``    — run the RT3 search on a synthetic task, optionally
   exporting a deployment bundle and a JSON report
 - ``rt3 ablation``  — the Table-IV six-way ablation on a synthetic task
+- ``rt3 serve``     — batched serving of a synthetic traffic scenario
+  through the masked model with mask/format caching
 
 All commands run offline on the synthetic substrates; sizes are laptop
 scale by default and adjustable via flags.
@@ -18,8 +20,6 @@ import argparse
 import json
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 
 # ---------------------------------------------------------------------------
@@ -189,6 +189,37 @@ def cmd_ablation(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ScenarioConfig, StackConfig, build_scenario, build_serving_stack
+
+    _, workload, engine = build_serving_stack(StackConfig(
+        dim=args.dim, vocab_size=args.vocab_size, seq_len=args.seq_len,
+        max_len=args.max_len, pattern_size=args.pattern_size, seed=args.seed,
+        max_batch=args.batch_size, window_s=args.window_ms / 1e3,
+        use_cache=not args.no_cache, cache_capacity=args.cache_capacity,
+        verify=args.verify))
+    trace = build_scenario(args.scenario, workload, ScenarioConfig(
+        num_requests=args.requests, vocab_size=args.vocab_size,
+        seq_len=args.seq_len, max_len=args.max_len, seed=args.seed))
+    report = engine.serve(trace)
+    summary = {"scenario": args.scenario, "batch_size": args.batch_size,
+               "cache_enabled": not args.no_cache, **report.summary()}
+    print(json.dumps(summary, indent=2))
+    if args.output:
+        # written before the verify gate so a mismatch still leaves the
+        # diagnostic report behind
+        with open(args.output, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"report written to {args.output}")
+    if args.verify and report.max_verify_error is not None:
+        ok = report.max_verify_error < 1e-9
+        print(f"batched outputs vs per-request: max |err| = "
+              f"{report.max_verify_error:.3e} ({'OK' if ok else 'MISMATCH'})")
+        if not ok:
+            return 1
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -226,6 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_abl = sub.add_parser("ablation", help="Table IV six-way ablation")
     _add_task_args(p_abl)
     p_abl.set_defaults(fn=cmd_ablation)
+
+    p_serve = sub.add_parser("serve", help="batched serving of a traffic scenario")
+    p_serve.add_argument("--scenario", default="steady",
+                         choices=["steady", "bursty", "battery"])
+    p_serve.add_argument("--requests", type=int, default=96)
+    p_serve.add_argument("--batch-size", type=int, default=8)
+    p_serve.add_argument("--window-ms", type=float, default=50.0,
+                         help="micro-batching window")
+    p_serve.add_argument("--dim", type=int, default=32)
+    p_serve.add_argument("--vocab-size", type=int, default=60)
+    p_serve.add_argument("--seq-len", type=int, default=12)
+    p_serve.add_argument("--max-len", type=int, default=16)
+    p_serve.add_argument("--pattern-size", type=int, default=8)
+    p_serve.add_argument("--cache-capacity", type=int, default=512)
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the mask/format artifact cache")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="re-run each request singly and compare outputs")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--output", help="write the JSON summary here")
+    p_serve.set_defaults(fn=cmd_serve)
     return parser
 
 

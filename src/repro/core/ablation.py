@@ -20,14 +20,13 @@ is snapshotted and restored between runs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
-from repro.core.patterns import MaskManager, PatternSet, random_pattern_set
+from repro.core.block_pruning import apply_block_pruning
+from repro.core.patterns import MaskManager, random_pattern_set
 from repro.core.rt3 import RT3, RT3Config
 from repro.core.search_space import PatternSearchSpace
 from repro.core.tasks import Task

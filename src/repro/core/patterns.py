@@ -20,8 +20,8 @@ storage needs only per-block pattern ids plus the shared pattern masks.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,6 +111,19 @@ class PatternSet:
     def nbytes(self) -> float:
         return sum(p.nbytes for p in self.patterns)
 
+    def digest(self) -> str:
+        """Content hash of the set (order-sensitive): its cache identity.
+
+        Two sets with identical patterns in identical order produce the
+        same digest regardless of ``name``, so caches survive rebuilding a
+        set from its serialized form.
+        """
+        h = hashlib.sha1()
+        h.update(f"{self.sparsity:.6f}".encode())
+        for p in self.patterns:
+            h.update(p.digest().encode())
+        return h.hexdigest()[:16]
+
     def __repr__(self) -> str:
         return (f"PatternSet(n={len(self.patterns)}, size={self.pattern_size}, "
                 f"sparsity={self.sparsity:.2f}{', ' + self.name if self.name else ''})")
@@ -195,6 +208,10 @@ def block_sparse_nbytes(mask: np.ndarray, num_blocks: int, direction: str = "col
     return nnz * value_bytes + index_count * index_bytes
 
 
+# distinguishes the cache entries of coexisting MaskManagers
+_manager_counter = itertools.count()
+
+
 class MaskManager:
     """Composes the fixed BP backbone mask with swappable pattern masks.
 
@@ -206,7 +223,7 @@ class MaskManager:
     """
 
     def __init__(self, model: Module, backbone_masks: Optional[Dict[str, np.ndarray]] = None,
-                 min_features: int = 8) -> None:
+                 min_features: int = 8, cache=None) -> None:
         self.layers: Dict[str, Linear] = prunable_linears(model, min_features=min_features)
         if not self.layers:
             raise ValueError("model has no prunable Linear layers")
@@ -218,18 +235,49 @@ class MaskManager:
                 self.backbone_masks[name] = np.ones_like(layer.weight.data)
         self.active_set: Optional[PatternSet] = None
         self._pattern_ids: Dict[str, np.ndarray] = {}
+        # Optional repro.serve.cache.ArtifactCache: memoizes the per-layer
+        # (pp_mask, ids) derivation across pattern-set swaps.  Valid only
+        # while weights are frozen — call ``invalidate_cache`` after any
+        # weight update.  Entries are owner-scoped: masks depend on this
+        # manager's weights, so a cache shared between managers must not
+        # serve one manager's masks to another.
+        self.cache = cache
+        self._cache_owner = f"mm{next(_manager_counter)}"
 
     # ------------------------------------------------------------------
+    def attach_cache(self, cache) -> None:
+        """Install (or replace) the artifact cache used by ``apply``."""
+        self.cache = cache
+
+    def invalidate_cache(self) -> int:
+        """Drop this manager's cached masks (weights changed).
+
+        Scoped to this manager's owner key: content-keyed format
+        conversions and other managers' masks in a shared cache stay
+        valid.  Returns the number of entries removed.
+        """
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate(owner=self._cache_owner)
+
     def apply(self, pattern_set: Optional[PatternSet]) -> None:
         """Install combined masks for ``pattern_set`` (None = backbone only)."""
         self.active_set = pattern_set
         self._pattern_ids.clear()
+        set_digest = pattern_set.digest() if pattern_set is not None else ""
         for name, layer in self.layers.items():
             bp = self.backbone_masks[name]
             if pattern_set is None:
                 layer.set_mask(bp.copy())
                 continue
-            pp_mask, ids = pattern_mask_for_matrix(layer.weight.data * bp, pattern_set)
+            if self.cache is not None:
+                pp_mask, ids = self.cache.get_mask(
+                    name, set_digest,
+                    lambda: pattern_mask_for_matrix(layer.weight.data * bp, pattern_set),
+                    owner=self._cache_owner,
+                )
+            else:
+                pp_mask, ids = pattern_mask_for_matrix(layer.weight.data * bp, pattern_set)
             layer.set_mask(bp * pp_mask)
             self._pattern_ids[name] = ids
 

@@ -15,11 +15,9 @@ individually-trained upper bound (UB).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
 
 from repro.core.block_pruning import BlockPruningConfig, BlockPruningReport, apply_block_pruning
 from repro.core.controller import ControllerConfig, Episode, RNNController
@@ -29,7 +27,7 @@ from repro.core.reward import RewardConfig, RewardTerms, compute_reward
 from repro.core.search_space import PatternSearchSpace, SearchSpaceConfig
 from repro.core.tasks import Task
 from repro.core.trainer import JointTrainer, TrainConfig, train_individual, train_plain
-from repro.hardware.energy_sim import EnergySimulator, ModeAssignment
+from repro.hardware.energy_sim import ModeAssignment
 from repro.hardware.latency import SparsityKind
 from repro.hardware.platform import OdroidXU3
 from repro.hardware.workload import WorkloadProfile

@@ -21,12 +21,12 @@ so RL only has to decide *which* candidate sets to bind to which level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.patterns import MaskManager, Pattern, PatternSet
-from repro.hardware.dvfs import DVFSTable, VFLevel
+from repro.hardware.dvfs import DVFSTable
 from repro.hardware.latency import LatencyModel, SparsityKind
 from repro.hardware.workload import WorkloadProfile
 

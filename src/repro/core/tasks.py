@@ -15,7 +15,7 @@ import numpy as np
 from repro.data.dataloader import BatchIterator
 from repro.data.glue import SyntheticGlueTask
 from repro.data.metrics import metric_for_task
-from repro.data.wikitext import SyntheticWikiText, make_lm_batches
+from repro.data.wikitext import SyntheticWikiText
 from repro.nn.distilbert import DistilBertForSequenceTask
 from repro.nn.module import Module
 from repro.nn.transformer import TransformerLM

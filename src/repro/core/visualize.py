@@ -8,7 +8,7 @@ all sets are derived from the same BP-guided importance maps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ sentence pairs are joined with the EOS token as separator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

@@ -111,6 +111,36 @@ class LatencyModel:
         return 1e3 * self.latency_s(workload, level, sparsity, kind, pattern_size)
 
     # ------------------------------------------------------------------
+    def batch_breakdown(
+        self,
+        workload: WorkloadProfile,
+        batch: int,
+        sparsity: float = 0.0,
+        kind: SparsityKind = SparsityKind.DENSE,
+        pattern_size: int = 100,
+    ) -> LatencyBreakdown:
+        """Cycle breakdown for a micro-batch of ``batch`` inferences.
+
+        MAC work scales linearly with the batch; the bookkeeping overhead
+        (kernel setup, pattern-code dispatch, fixed per-invocation cost)
+        is paid once per batch rather than once per request — the analytic
+        counterpart of the serving layer's vectorized forward pass.
+        """
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        one = self.breakdown(workload, sparsity, kind, pattern_size)
+        return LatencyBreakdown(one.mac_cycles * batch, one.overhead_cycles)
+
+    def batch_latency_s(self, workload: WorkloadProfile, level: VFLevel, batch: int,
+                        sparsity: float = 0.0,
+                        kind: SparsityKind = SparsityKind.DENSE,
+                        pattern_size: int = 100) -> float:
+        """Wall-clock seconds to serve one micro-batch at ``level``."""
+        cycles = self.batch_breakdown(workload, batch, sparsity, kind,
+                                      pattern_size).total_cycles
+        return cycles / level.freq_hz
+
+    # ------------------------------------------------------------------
     def sparsity_for_deadline(
         self,
         workload: WorkloadProfile,

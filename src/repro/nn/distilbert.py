@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.module import Module, ModuleList
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
 

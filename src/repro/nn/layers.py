@@ -11,7 +11,7 @@ zeros from updating effective weights — to subsequent inference.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ pruning code paths care about.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -100,9 +100,11 @@ class TransformerDecoderLayer(Module):
         self.drop = Dropout(cfg.dropout, seed=seed)
 
     def forward(self, x: Tensor, memory: Tensor,
-                self_mask: Optional[np.ndarray] = None) -> Tensor:
+                self_mask: Optional[np.ndarray] = None,
+                memory_mask: Optional[np.ndarray] = None) -> Tensor:
         x = F.add(x, self.drop(self.self_attn(self.norm1(x), attn_mask=self_mask)))
-        x = F.add(x, self.drop(self.cross_attn(self.norm2(x), key=memory)))
+        x = F.add(x, self.drop(self.cross_attn(self.norm2(x), key=memory,
+                                               attn_mask=memory_mask)))
         x = F.add(x, self.drop(self.ffn(self.norm3(x))))
         return x
 
@@ -141,19 +143,27 @@ class TransformerLM(Module):
         x = F.add(x, Tensor(self.pos[:length]))
         return self.drop(x)
 
-    def encode(self, tokens) -> Tensor:
+    def encode(self, tokens, attn_mask: Optional[np.ndarray] = None) -> Tensor:
         x = self._embed(tokens)
         for layer in self.encoder:
-            x = layer(x)
+            x = layer(x, attn_mask=attn_mask)
         return x
 
-    def forward(self, tokens) -> Tensor:
-        memory = self.encode(tokens)
+    def forward(self, tokens, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Next-token logits.
+
+        ``attn_mask`` is an optional key-padding mask broadcastable to
+        ``(B, H, Lq, Lk)`` with ``True`` marking padded key positions —
+        the serving batcher uses it so right-padded micro-batches produce
+        exactly the per-request outputs at every valid position.
+        """
+        memory = self.encode(tokens, attn_mask=attn_mask)
         length = memory.shape[1]
         mask = causal_mask(length)
+        self_mask = mask if attn_mask is None else np.logical_or(mask, attn_mask)
         x = self._embed(tokens)
         for layer in self.decoder:
-            x = layer(x, memory, self_mask=mask)
+            x = layer(x, memory, self_mask=self_mask, memory_mask=attn_mask)
         return self.lm_head(self.final_norm(x))
 
     def loss(self, tokens, targets) -> Tensor:

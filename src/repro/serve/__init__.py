@@ -1,0 +1,50 @@
+"""Batched inference serving: micro-batching, artifact caching, scenarios.
+
+The production half of run-time reconfiguration: instead of one request
+at a time through :class:`~repro.core.runtime_policy.RuntimeAdapter`,
+traffic is grouped into padded micro-batches per operating point, masks
+and sparse-format conversions are memoized in an LRU artifact cache, and
+scenario generators replay the paper's deployment stories (steady
+translation, bursty interactive events, battery drain) as request
+traces.
+"""
+
+from repro.serve.batcher import (
+    InferenceRequest,
+    MicroBatcher,
+    RequestResult,
+    pad_batch,
+    run_padded,
+)
+from repro.serve.cache import ArtifactCache, CacheStats, LRUCache
+from repro.serve.engine import ServeEngine, ServeReport
+from repro.serve.stack import StackConfig, build_serving_stack
+from repro.serve.scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    battery_drain_longtail,
+    build_scenario,
+    bursty_interactive,
+    steady_translation,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "InferenceRequest",
+    "LRUCache",
+    "MicroBatcher",
+    "RequestResult",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "ServeEngine",
+    "ServeReport",
+    "StackConfig",
+    "battery_drain_longtail",
+    "build_scenario",
+    "build_serving_stack",
+    "bursty_interactive",
+    "pad_batch",
+    "run_padded",
+    "steady_translation",
+]

@@ -1,0 +1,201 @@
+"""Dynamic micro-batching: queue, group, pad, and execute requests.
+
+The serving hot path groups *compatible* requests — same operating point,
+hence same pattern set and V/F level — into one padded batch and runs a
+single vectorized forward pass through the masked model.  Padding is
+exact, not approximate: right-padded positions are blocked from attention
+with a key-padding mask, so every valid output position agrees with the
+per-request forward to machine precision (asserted in the tests and the
+serving bench).
+
+Three pieces:
+
+- :class:`InferenceRequest` / :class:`RequestResult` — the unit of work
+  and its outcome record;
+- :func:`pad_batch` / :func:`run_padded` — padding plus the vectorized
+  masked forward with per-request output slicing;
+- :class:`MicroBatcher` — deterministic grouping of an arrival stream
+  into FIFO micro-batches under a compatibility key, a batch-size bound
+  and a batching-window bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import no_grad
+
+
+@dataclass
+class InferenceRequest:
+    """One simulated client request.
+
+    Two distinct budgets, both measured from ``arrival_s``:
+
+    - ``deadline_s`` — the paper's per-inference real-time constraint;
+      it drives the adapter's pattern-set choice (which sparsity can
+      compute one inference in time at the current V/F level);
+    - ``slo_s`` — the end-to-end completion objective the *service*
+      offers, which additionally absorbs queueing, batching and the
+      occasional reconfiguration switch.  Defaults to ``deadline_s``.
+
+    ``level_name`` records the V/F operating point in force when the
+    request arrived (set by the scenario generator).
+    """
+
+    req_id: int
+    tokens: np.ndarray  # 1-D int token ids
+    arrival_s: float = 0.0
+    deadline_s: float = float("inf")
+    level_name: str = "l6"
+    slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.tokens = np.asarray(self.tokens)
+        if self.tokens.ndim != 1 or self.tokens.size == 0:
+            raise ValueError("request tokens must be a non-empty 1-D sequence")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo must be positive")
+
+    @property
+    def length(self) -> int:
+        return int(self.tokens.shape[0])
+
+    @property
+    def slo(self) -> float:
+        return self.deadline_s if self.slo_s is None else self.slo_s
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one served request."""
+
+    request: InferenceRequest
+    output: np.ndarray  # (length, vocab) logits or (num_labels,) head output
+    batch_id: int
+    batch_size: int
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    completion_s: float = 0.0
+    sparsity: Optional[float] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.queue_wait_s + self.service_s
+
+    @property
+    def met_slo(self) -> bool:
+        """End-to-end completion within the request's service objective."""
+        return self.latency_s <= self.request.slo
+
+    # kept as an alias: "deadline" in serving reports means the SLO
+    met_deadline = met_slo
+
+
+# ---------------------------------------------------------------------------
+# padding + vectorized execution
+# ---------------------------------------------------------------------------
+
+def pad_batch(token_seqs: Sequence[np.ndarray], pad_id: int = 0
+              ) -> Tuple[np.ndarray, Optional[np.ndarray], List[int]]:
+    """Right-pad ragged sequences into one ``(B, Lmax)`` token matrix.
+
+    Returns ``(tokens, key_padding_mask, lengths)`` where the mask is a
+    boolean ``(B, 1, 1, Lmax)`` array (``True`` = blocked pad key)
+    broadcastable against attention scores, or ``None`` when every
+    sequence already has the same length (so the unpadded fast path —
+    and its bitwise-identical numerics — is preserved).
+    """
+    if not token_seqs:
+        raise ValueError("cannot pad an empty batch")
+    lengths = [int(np.asarray(t).shape[0]) for t in token_seqs]
+    max_len = max(lengths)
+    batch = len(token_seqs)
+    tokens = np.full((batch, max_len), pad_id, dtype=np.int64)
+    for i, seq in enumerate(token_seqs):
+        tokens[i, : lengths[i]] = np.asarray(seq)
+    if all(n == max_len for n in lengths):
+        return tokens, None, lengths
+    mask = np.zeros((batch, 1, 1, max_len), dtype=bool)
+    for i, n in enumerate(lengths):
+        mask[i, 0, 0, n:] = True
+    return tokens, mask, lengths
+
+
+def run_padded(model, requests: Sequence[InferenceRequest], pad_id: int = 0
+               ) -> List[np.ndarray]:
+    """One vectorized forward over ``requests``; outputs sliced per request.
+
+    Sequence models (3-D logits) are sliced back to each request's true
+    length; pooled heads (2-D outputs) return one row per request.
+    """
+    tokens, mask, lengths = pad_batch([r.tokens for r in requests], pad_id)
+    with no_grad():
+        out = model(tokens) if mask is None else model(tokens, attn_mask=mask)
+    data = out.data if hasattr(out, "data") else np.asarray(out)
+    if data.ndim >= 3:
+        return [data[i, : lengths[i]].copy() for i in range(len(requests))]
+    return [data[i].copy() for i in range(len(requests))]
+
+
+# ---------------------------------------------------------------------------
+# grouping
+# ---------------------------------------------------------------------------
+
+def _default_key(request: InferenceRequest) -> Hashable:
+    return request.level_name
+
+
+class MicroBatcher:
+    """Group an arrival-ordered request stream into micro-batches.
+
+    Requests are compatible when ``key_fn`` agrees (by default the V/F
+    level in force at arrival; the serving engine keys on the resolved
+    pattern set as well).  A group is flushed when it reaches
+    ``max_batch``, when the arrival stream advances more than
+    ``window_s`` past the group's oldest member, or at end of stream —
+    so a lone request waits at most one batching window.  Grouping is
+    deterministic and preserves FIFO order within a key.
+    """
+
+    def __init__(self, max_batch: int = 8, window_s: float = 0.05,
+                 key_fn: Optional[Callable[[InferenceRequest], Hashable]] = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if window_s < 0:
+            raise ValueError("window cannot be negative")
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self.key_fn = key_fn or _default_key
+
+    def batches(self, requests: Sequence[InferenceRequest]
+                ) -> List[List[InferenceRequest]]:
+        """Deterministically batch ``requests`` (sorted by arrival)."""
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        open_groups: Dict[Hashable, List[InferenceRequest]] = {}
+        flush_order: List[List[InferenceRequest]] = []
+
+        def flush(key: Hashable) -> None:
+            group = open_groups.pop(key, None)
+            if group:
+                flush_order.append(group)
+
+        for req in ordered:
+            # time out any group whose window the stream has passed
+            for key in list(open_groups):
+                group = open_groups[key]
+                if req.arrival_s - group[0].arrival_s > self.window_s:
+                    flush(key)
+            key = self.key_fn(req)
+            open_groups.setdefault(key, []).append(req)
+            if len(open_groups[key]) >= self.max_batch:
+                flush(key)
+        # end of stream: flush leftovers in oldest-first order
+        for key in sorted(open_groups, key=lambda k: open_groups[k][0].arrival_s):
+            flush(key)
+        return flush_order

@@ -1,0 +1,217 @@
+"""LRU artifact cache for run-time reconfiguration.
+
+Serving traffic re-installs masks and sparse-format conversions far more
+often than it changes them: a steady workload swaps pattern sets rarely,
+yet the single-request path re-derives every layer's pattern mask (an
+``einsum`` over all tiles) and re-packs sparse payloads on every call.
+This module caches those derived artifacts keyed by
+``(layer, pattern_set, format)`` so a reconfiguration swap back to a
+previously seen operating point costs a dictionary lookup instead of a
+recomputation — the software analogue of the paper's claim that a pattern
+switch moves only kilobytes.
+
+The cache is deliberately dependency-free and generic:
+
+- :class:`LRUCache` — bounded mapping with least-recently-used eviction
+  and hit/miss/eviction accounting.
+- :class:`ArtifactCache` — namespaced keys for pattern masks
+  (``("mask", layer, set_digest)``) and format conversions
+  (``("fmt", layer, set_digest, fmt)``), plus targeted invalidation when
+  weights change or a pattern set is retired.
+
+Cached masks assume the underlying weights are frozen (the deployment
+regime after Level-1 training); call :meth:`ArtifactCache.invalidate`
+after any weight update.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions, self.invalidations)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``capacity`` bounds the number of entries; 0 disables caching (every
+    lookup misses, nothing is stored) which lets callers keep one code
+    path.  Both ``get`` and ``put`` refresh an entry's recency.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterable[Hashable]:
+        return list(self._data.keys())
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss."""
+        if key in self._data:
+            self.stats.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """``get`` with a fallback producer; stores the computed value."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def invalidate(self, predicate: Optional[Callable[[Hashable], bool]] = None) -> int:
+        """Drop entries whose key satisfies ``predicate`` (None = all).
+
+        Returns the number of entries removed.
+        """
+        if predicate is None:
+            removed = len(self._data)
+            self._data.clear()
+        else:
+            doomed = [k for k in self._data if predicate(k)]
+            for k in doomed:
+                del self._data[k]
+            removed = len(doomed)
+        self.stats.invalidations += removed
+        return removed
+
+
+@dataclass
+class ArtifactCache:
+    """Namespaced cache for the two serving hot-path artifacts.
+
+    - *masks*: ``(pp_mask, pattern_ids)`` pairs from
+      :func:`repro.core.patterns.pattern_mask_for_matrix`, keyed by
+      ``(layer, pattern_set_digest)``;
+    - *formats*: packed sparse matrices from :mod:`repro.sparse.formats`,
+      keyed by ``(layer, weight_digest, format)``.
+
+    One shared :class:`LRUCache` backs both namespaces so a single
+    capacity bound governs total memory.
+    """
+
+    capacity: int = 256
+    store: LRUCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.store = LRUCache(self.capacity)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.store.stats
+
+    # -- key builders ---------------------------------------------------
+    @staticmethod
+    def mask_key(layer: str, set_digest: str, owner: str = "") -> Tuple[str, ...]:
+        """``owner`` isolates entries of distinct mask managers: masks are
+        derived from weights, so managers over different models must never
+        share entries even when layer names and set digests coincide."""
+        return ("mask", layer, set_digest, owner)
+
+    @staticmethod
+    def format_key(layer: str, weight_digest: str, fmt: str,
+                   config: str = "") -> Tuple[str, ...]:
+        """``config`` carries format parameters the payload depends on
+        beyond the weight content (pattern-set digest, block count)."""
+        return ("fmt", layer, weight_digest, fmt, config)
+
+    # -- mask namespace -------------------------------------------------
+    def get_mask(self, layer: str, set_digest: str, compute: Callable[[], Any],
+                 owner: str = "") -> Any:
+        return self.store.get_or_compute(self.mask_key(layer, set_digest, owner),
+                                         compute)
+
+    # -- format namespace -----------------------------------------------
+    def get_format(self, layer: str, weight_digest: str, fmt: str,
+                   compute: Callable[[], Any], config: str = "") -> Any:
+        return self.store.get_or_compute(
+            self.format_key(layer, weight_digest, fmt, config), compute)
+
+    # -- invalidation ---------------------------------------------------
+    def invalidate(self, layer: Optional[str] = None,
+                   set_digest: Optional[str] = None,
+                   owner: Optional[str] = None) -> int:
+        """Drop matching entries; all filters None clears everything.
+
+        ``layer`` matches either namespace.  ``set_digest`` retires a
+        pattern set from both namespaces: it matches the mask entries'
+        set digest and the format entries' config field (which carries
+        the pattern-set digest for pattern conversions).  ``owner``
+        drops one mask manager's entries — the weight-update path —
+        without touching format conversions, which are content-keyed
+        and can never go stale.
+        """
+        if layer is None and set_digest is None and owner is None:
+            return self.store.invalidate()
+
+        def doomed(key: Hashable) -> bool:
+            if not isinstance(key, tuple) or len(key) < 3:
+                return False
+            if layer is not None and key[1] != layer:
+                return False
+            if set_digest is not None:
+                digest_field = key[2] if key[0] == "mask" else key[4]
+                if digest_field != set_digest:
+                    return False
+            if owner is not None and (key[0] != "mask" or key[3] != owner):
+                return False
+            return True
+
+        return self.store.invalidate(doomed)

@@ -1,0 +1,261 @@
+"""Batched serving engine: traffic in, adaptation + padded batches out.
+
+The engine owns the serving timeline.  For each micro-batch it
+
+1. resolves the batch's operating point — every member shares a V/F
+   level and a feasible pattern sparsity (that is the batcher's
+   compatibility key), so the :class:`~repro.core.runtime_policy.RuntimeAdapter`
+   is driven once *per batch* instead of once per request;
+2. installs the batch's pattern masks through the
+   :class:`~repro.core.patterns.MaskManager`, where the
+   :class:`~repro.serve.cache.ArtifactCache` turns repeat installs into
+   lookups;
+3. executes one vectorized, padding-exact forward pass
+   (:func:`~repro.serve.batcher.run_padded`);
+4. advances a simulated device clock using the analytic batch latency
+   (MAC work × batch, per-invocation overhead paid once) plus any
+   reconfiguration switch cost.
+
+Setting ``max_batch=1`` with no cache reproduces the repo's original
+single-request path — mask re-derivation and one forward per request —
+which is exactly the baseline the serving bench compares against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.runtime_policy import AdaptationEvent, RuntimeAdapter
+from repro.hardware.dvfs import DVFSTable, VFLevel
+from repro.hardware.latency import SparsityKind
+from repro.serve.batcher import (
+    InferenceRequest,
+    MicroBatcher,
+    RequestResult,
+    run_padded,
+)
+from repro.serve.cache import ArtifactCache, CacheStats
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one serving run."""
+
+    results: List[RequestResult] = field(default_factory=list)
+    events: List[AdaptationEvent] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_stats: Optional[CacheStats] = None
+    max_verify_error: Optional[float] = None
+
+    # -- request-level aggregates --------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.events)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Measured wall-clock requests/second of the Python hot path."""
+        return self.num_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def sim_makespan_s(self) -> float:
+        return max((r.completion_s for r in self.results), default=0.0)
+
+    @property
+    def sim_throughput_rps(self) -> float:
+        """Requests/second on the simulated device timeline."""
+        span = self.sim_makespan_s
+        return self.num_requests / span if span > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.percentile([r.latency_s for r in self.results], q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.met_deadline) / len(self.results)
+
+    @property
+    def num_switches(self) -> int:
+        return sum(1 for e in self.events if e.switched)
+
+    @property
+    def violations(self) -> int:
+        """Batches whose compute deadline no pattern set could meet."""
+        return sum(1 for e in self.events if e.chosen_sparsity is None)
+
+    def summary(self) -> dict:
+        """Machine-readable digest (consumed by the bench JSON output)."""
+        out = {
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "throughput_rps": self.throughput_rps,
+            "sim_throughput_rps": self.sim_throughput_rps,
+            "p50_latency_ms": 1e3 * self.p50_latency_s,
+            "p95_latency_ms": 1e3 * self.p95_latency_s,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "switches": self.num_switches,
+            "violations": self.violations,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.cache_stats is not None:
+            out["cache"] = self.cache_stats.as_dict()
+        if self.max_verify_error is not None:
+            out["max_verify_error"] = self.max_verify_error
+        return out
+
+
+class ServeEngine:
+    """Serve a request trace through a masked model.
+
+    ``adapter`` supplies the sparsity ladder, latency model and (via its
+    ``manager``) the mask installation path; ``cache`` (optional) is
+    attached to the manager so repeated installs of a known pattern set
+    hit instead of re-deriving masks.  ``verify`` re-runs every batch
+    member individually and records the worst absolute deviation — the
+    padding-exactness guarantee, at roughly double the compute.
+    """
+
+    def __init__(self, model, adapter: RuntimeAdapter, *, max_batch: int = 8,
+                 window_s: float = 0.05, cache: Optional[ArtifactCache] = None,
+                 pad_id: int = 0, dvfs: Optional[DVFSTable] = None,
+                 verify: bool = False, reinstall_per_batch: bool = True) -> None:
+        self.model = model
+        self.adapter = adapter
+        self.cache = cache
+        if cache is not None and adapter.manager is not None:
+            adapter.manager.attach_cache(cache)
+        self.pad_id = pad_id
+        self.dvfs = dvfs or DVFSTable()
+        self.verify = verify
+        # ``reinstall_per_batch=True`` models a stateless execution
+        # context: the device re-validates/installs its masks before
+        # every batch (the single-request path's behaviour, and what the
+        # artifact cache turns into lookups).  Set False to trust
+        # ``manager.active_set`` and skip installs when the batch keeps
+        # the previous operating point.
+        self.reinstall_per_batch = reinstall_per_batch
+        self.ladder: Dict[float, object] = dict(adapter.candidates)
+        self.fallback_sparsity: float = adapter.candidates[-1][0]
+        self.batcher = MicroBatcher(max_batch, window_s, key_fn=self._compat_key)
+
+    # ------------------------------------------------------------------
+    def _level(self, name: str) -> VFLevel:
+        return self.dvfs[name]
+
+    def _compat_key(self, request: InferenceRequest) -> Hashable:
+        """Requests batch together iff they resolve to one operating point."""
+        level = self._level(request.level_name)
+        sparsity = self.adapter.feasible_sparsity(level, request.deadline_s)
+        return (request.level_name, sparsity)
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
+        report = ServeReport(cache_stats=None)
+        groups = self.batcher.batches(requests)
+        clock = 0.0
+        worst_err = 0.0
+        verify_wall = 0.0
+        cache_start = (self.cache.stats.snapshot()
+                       if self.cache is not None else None)
+        start_wall = time.perf_counter()
+        for batch_id, group in enumerate(groups):
+            level = self._level(group[0].level_name)
+            event = self.adapter.adapt(level, min(r.deadline_s for r in group))
+            manager = self.adapter.manager
+            effective = event.chosen_sparsity
+            extra_switch_s = 0.0
+            installed_this_batch = False
+            if effective is None:
+                # Infeasible deadline: keep whatever is installed (no
+                # phantom swap).  Only when nothing is installed yet fall
+                # back to the sparsest set — a real switch, charged as one.
+                if self.adapter.active_sparsity is not None:
+                    effective = self.adapter.active_sparsity
+                else:
+                    effective = self.fallback_sparsity
+                    pset = self.ladder[effective]
+                    stats = self.adapter.reconfigurator.pattern_switch(
+                        self.adapter.workload, len(pset),
+                        self.adapter.hardware_pattern_size)
+                    extra_switch_s = stats.seconds
+                    if manager is not None:
+                        manager.apply(pset)
+                        installed_this_batch = True
+                    self.adapter.active_sparsity = effective
+            if manager is not None and not event.switched and not installed_this_batch and (
+                    self.reinstall_per_batch
+                    or manager.active_set is not self.ladder[effective]):
+                # Re-install the batch's masks; with a cache this is a
+                # lookup, without one it re-derives every layer (the
+                # single-request baseline behaviour).
+                manager.apply(self.ladder[effective])
+            outputs = run_padded(self.model, group, self.pad_id)
+            if self.verify:
+                # excluded from the timed hot path: this doubles the compute
+                verify_start = time.perf_counter()
+                for req, out in zip(group, outputs):
+                    solo = run_padded(self.model, [req], self.pad_id)[0]
+                    worst_err = max(worst_err, float(np.abs(out - solo).max()))
+                verify_wall += time.perf_counter() - verify_start
+
+            service = self.adapter.latency.batch_latency_s(
+                self.adapter.workload, level, len(group), effective,
+                SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+            service += extra_switch_s
+            if event.switch is not None:
+                service += event.switch.seconds
+            # Dispatch time: a full batch leaves when its last member
+            # arrives; a partial batch waits out the batching window from
+            # its first member (the online batcher cannot know no more
+            # compatible requests are coming).
+            if len(group) >= self.batcher.max_batch:
+                ready = max(r.arrival_s for r in group)
+            else:
+                ready = group[0].arrival_s + self.batcher.window_s
+            begin = max(clock, ready)
+            clock = begin + service
+            for req, out in zip(group, outputs):
+                report.results.append(RequestResult(
+                    request=req, output=out, batch_id=batch_id,
+                    batch_size=len(group), queue_wait_s=begin - req.arrival_s,
+                    service_s=service, completion_s=clock,
+                    sparsity=effective))
+            report.events.append(event)
+        report.wall_seconds = time.perf_counter() - start_wall - verify_wall
+        if self.cache is not None:
+            # delta over this run only: the engine can serve many traces,
+            # and each report describes its own run, not the lifetime
+            end = self.cache.stats
+            report.cache_stats = CacheStats(
+                hits=end.hits - cache_start.hits,
+                misses=end.misses - cache_start.misses,
+                evictions=end.evictions - cache_start.evictions,
+                invalidations=end.invalidations - cache_start.invalidations)
+        if self.verify:
+            report.max_verify_error = worst_err
+        return report

@@ -23,7 +23,7 @@ The counters realize the paper's cost argument executably:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

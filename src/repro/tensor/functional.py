@@ -9,7 +9,7 @@ routes the incoming gradient to each parent via
 from __future__ import annotations
 
 import builtins
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ than the ``no_grad`` switch — so that it is easy to audit in tests.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

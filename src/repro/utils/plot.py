@@ -7,7 +7,7 @@ against its index (battery fraction over time, accuracy over sparsity).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 Point = Tuple[float, float]
 

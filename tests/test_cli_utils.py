@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,7 +67,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "--task", "imagenet"])
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--scenario", "bursty", "--batch-size", "4", "--no-cache"])
+        assert args.fn.__name__ == "cmd_serve"
+        assert args.scenario == "bursty"
+        assert args.batch_size == 4
+        assert args.no_cache
 
+    def test_serve_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scenario", "imagenet"])
+
+
+class TestServeCommand:
+    # fast enough for the default lane: tiny model, no training
+    def test_serve_runs_and_writes_output(self, tmp_path, capsys):
+        report_path = tmp_path / "serve.json"
+        code = main(["serve", "--requests", "16", "--verify",
+                     "--output", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max |err|" in out and "OK" in out
+        report = json.loads(report_path.read_text())
+        assert report["scenario"] == "steady"
+        assert report["requests"] == 16
+        assert report["cache_enabled"] is True
+        assert report["cache"]["hits"] + report["cache"]["misses"] > 0
+        assert report["max_verify_error"] < 1e-9
+
+    def test_serve_no_cache_reports_flag(self, tmp_path):
+        report_path = tmp_path / "serve.json"
+        assert main(["serve", "--requests", "8", "--no-cache",
+                     "--output", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["cache_enabled"] is False
+        assert "cache" not in report
+
+
+@pytest.mark.slow
 class TestCommands:
     def test_info_runs(self, capsys):
         assert main(["info"]) == 0

@@ -6,7 +6,7 @@ import pytest
 from repro.core.ablation import AblationConfig, AblationStudy, format_ablation_table
 from repro.core.block_pruning import BlockPruningConfig
 from repro.core.controller import ControllerConfig
-from repro.core.patterns import Pattern, PatternSet, random_pattern_set
+from repro.core.patterns import Pattern, random_pattern_set
 from repro.core.rt3 import RT3Config
 from repro.core.search_space import SearchSpaceConfig
 from repro.core.trainer import TrainConfig, train_plain
@@ -35,6 +35,7 @@ def study(lm_task):
     return AblationStudy(lm_task, paper_scale_transformer(), cfg)
 
 
+@pytest.mark.slow
 class TestAblation:
     def test_no_opt_is_baseline(self, study):
         row = study.no_opt()

@@ -13,7 +13,6 @@ from repro.core.block_pruning import (
     _block_bounds,
 )
 from repro.nn.layers import prunable_linears
-from repro.tensor import functional as F
 
 
 class TestBlockBounds:

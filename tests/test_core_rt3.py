@@ -60,6 +60,7 @@ class TestLevel1:
             rt3.build_space()
 
 
+@pytest.mark.slow
 class TestSearch:
     def test_full_search_returns_consistent_result(self, trained_lm):
         rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
@@ -130,6 +131,7 @@ class TestSearch:
             assert not any(dominates(q, p) for q in front if q != p)
 
 
+@pytest.mark.slow
 class TestAlphaModes:
     def test_governor_alpha_weights_high_level_most(self, trained_lm):
         rt3 = RT3(trained_lm, paper_scale_transformer(),
@@ -150,6 +152,7 @@ class TestAlphaModes:
             rt3._reward_config(0.5)
 
 
+@pytest.mark.slow
 class TestBaselines:
     def test_heuristic_requires_space(self, trained_lm):
         rt3 = RT3(trained_lm, paper_scale_transformer(), small_cfg())
@@ -176,6 +179,7 @@ class TestBaselines:
             assert np.array_equal(before[key], after[key])
 
 
+@pytest.mark.slow
 class TestGlueIntegration:
     def test_search_on_rte(self, rte_task):
         from repro.hardware.workload import paper_scale_distilbert

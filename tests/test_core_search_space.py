@@ -7,7 +7,6 @@ from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
 from repro.core.patterns import MaskManager
 from repro.core.search_space import PatternSearchSpace, SearchSpaceConfig
 from repro.hardware.dvfs import DVFSTable
-from repro.hardware.latency import LatencyModel
 from repro.hardware.workload import paper_scale_transformer
 
 LEVELS = DVFSTable().subset(["l3", "l4", "l6"])

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.dataloader import BatchIterator, train_eval_split
-from repro.data.glue import GLUE_TASKS, GlueTaskConfig, SyntheticGlueTask, make_glue_task
+from repro.data.glue import GLUE_TASKS, GlueTaskConfig, make_glue_task
 from repro.data.vocab import SPECIAL_TOKENS, Vocabulary, zipf_probs
 from repro.data.wikitext import SyntheticWikiText, WikiTextConfig, make_lm_batches
 

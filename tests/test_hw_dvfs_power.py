@@ -1,6 +1,5 @@
 """DVFS table (paper Table I), battery governor, power model."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.battery import Battery

@@ -1,9 +1,8 @@
 """Energy simulator: Table II anchors and analytic/event-driven agreement."""
 
-import numpy as np
 import pytest
 
-from repro.hardware.energy_sim import EnergySimulator, ModeAssignment
+from repro.hardware.energy_sim import ModeAssignment
 from repro.hardware.latency import SparsityKind
 from repro.hardware.platform import OdroidXU3
 from repro.hardware.workload import paper_scale_transformer

@@ -1,6 +1,5 @@
 """Latency predictor, workload profiles and runtime reconfiguration costs."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.dvfs import DVFSTable

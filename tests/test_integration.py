@@ -26,6 +26,8 @@ from repro.tensor.tensor import Tensor
 
 from tests.conftest import TINY_TRANSFORMER
 
+pytestmark = pytest.mark.slow
+
 
 def quick_cfg(deadline=0.104, episodes=2):
     return RT3Config(

@@ -6,12 +6,10 @@ import pytest
 from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
 from repro.nn import FitConfig, MaskedAdam, TrainingHistory, fit, generate
 from repro.nn.generation import generate_with_deadline
-from repro.nn.layers import Linear
 from repro.nn.lr_scheduler import StepLR
 from repro.nn.module import Parameter
 from repro.nn.optim import Adam
 from repro.nn.transformer import TransformerLM
-from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 
 from tests.conftest import TINY_TRANSFORMER

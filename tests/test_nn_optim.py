@@ -7,7 +7,6 @@ from repro.nn.lr_scheduler import ConstantLR, LinearWarmupDecay, StepLR
 from repro.nn.module import Parameter
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor
 
 
 def quadratic_param(start=5.0):

@@ -7,7 +7,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.core.block_pruning import BlockPruningConfig, block_prune_matrix
 from repro.core.pareto import dominates, pareto_front
-from repro.core.patterns import Pattern, PatternSet, pattern_mask_for_matrix, random_pattern_set
+from repro.core.patterns import pattern_mask_for_matrix, random_pattern_set
 from repro.core.reward import RewardConfig, accuracy_order_ok, compute_reward
 from repro.hardware.dvfs import BatteryGovernor, DVFSTable
 from repro.hardware.latency import LatencyModel, SparsityKind

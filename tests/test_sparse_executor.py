@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
-from repro.core.patterns import MaskManager, random_pattern_set
+from repro.core.patterns import random_pattern_set
 from repro.sparse import ModelAudit, SparseExecutor, compare_formats
 from repro.sparse.kernels import OpCounter
 
