@@ -1,23 +1,26 @@
-"""Serving bench: batched + cached engine vs the single-request path.
+"""Serving bench: batched + sharded engine vs the single-request path.
 
-Serves the same steady-traffic trace twice through the masked model:
+Two comparisons, one digest:
 
-- **baseline** — ``max_batch=1``, no artifact cache: one adapter call,
-  one mask re-derivation and one forward pass per request (the repo's
-  original single-request behaviour);
-- **batched**  — ``max_batch=8`` with the LRU artifact cache: one
-  adapter call and one padded, vectorized forward per micro-batch, mask
-  installs served from cache after warm-up.
+- **batching** (steady traffic) — ``max_batch=1`` with no artifact cache
+  (the repo's original single-request behaviour) against ``max_batch=8``
+  with the LRU artifact cache and time-sliced completions;
+- **sharding** (bursty traffic) — the same batched engine on 1 vs
+  ``--devices`` simulated devices, saturating bursts on a larger stack
+  so compute rather than reconfiguration dominates, with per-shard
+  throughput/utilization and the throughput scaling factor.
 
-Reported: measured throughput (req/s) for both paths and the speedup,
-simulated p50/p95 latency against the SLO, cache hit rate, and the
-worst absolute deviation between batched and per-request outputs
-(must be exact to double precision).  Machine-readable numbers land in
-``benchmarks/results/BENCH_serve.json`` so future PRs can regress
-against them.
+Reported: measured wall-clock throughput (req/s) for both paths and the
+speedup, simulated throughput and p50/p95 latency against the SLO,
+cache hit rate, multi-device scaling, and the worst absolute deviation
+between batched/sharded and per-request outputs (must be exact to
+double precision).  Machine-readable numbers land in
+``benchmarks/results/BENCH_serve.json``; ``scripts/check_bench_regression.py``
+re-runs this bench at the committed configuration and gates CI on the
+*simulated* (deterministic) metrics.
 
-Run directly (``python benchmarks/bench_serve.py [--smoke]``) or via
-pytest for the asserted shape checks.
+Run directly (``python benchmarks/bench_serve.py [--smoke] [--devices N]``)
+or via pytest for the asserted shape checks.
 """
 
 from __future__ import annotations
@@ -42,6 +45,13 @@ from repro.serve import (
 
 from benchmarks.common import write_json_result, write_result
 
+# Sharded comparison stack: dim 96 puts per-batch compute (~4 ms) above
+# the pattern-switch cost (~5 ms warm, 0 after prewarm), so throughput
+# scaling measures parallelism rather than reconfiguration overhead.
+SHARDED_DIM = 96
+SHARDED_BURST = 32
+SHARDED_GAP_S = 2e-3
+
 
 def serve_scenario(scenario: str, num_requests: int, *, max_batch: int,
                    use_cache: bool, seed: int = 0,
@@ -54,8 +64,27 @@ def serve_scenario(scenario: str, num_requests: int, *, max_batch: int,
     return engine.serve(trace)
 
 
-def run_comparison(num_requests: int = 96, batch: int = 8, seed: int = 0) -> dict:
-    """Baseline vs batched on the steady scenario; returns the digest."""
+def serve_sharded(num_requests: int, devices: int, policy: str,
+                  seed: int = 0, verify: bool = False) -> ServeReport:
+    """Saturating bursty traffic across ``devices`` simulated shards.
+
+    Both burst deadline factors resolve to the same sparsity rung so the
+    1-vs-N comparison isolates compute scaling; ``prewarm=True`` models
+    deploy-time mask provisioning on every device.
+    """
+    _, workload, engine = build_serving_stack(StackConfig(
+        dim=SHARDED_DIM, seed=seed, devices=devices, policy=policy,
+        prewarm=True, verify=verify))
+    trace = build_scenario("bursty", workload,
+                           ScenarioConfig(num_requests=num_requests, seed=seed),
+                           burst_size=SHARDED_BURST, burst_gap_s=SHARDED_GAP_S,
+                           deadline_factors=(1.7, 1.7))
+    return engine.serve(trace)
+
+
+def run_comparison(num_requests: int = 96, batch: int = 8, seed: int = 0,
+                   devices: int = 4, policy: str = "least-loaded") -> dict:
+    """Baseline vs batched vs sharded; returns the machine-readable digest."""
     baseline = serve_scenario("steady", num_requests, max_batch=1,
                               use_cache=False, seed=seed)
     batched = serve_scenario("steady", num_requests, max_batch=batch,
@@ -66,14 +95,20 @@ def run_comparison(num_requests: int = 96, batch: int = 8, seed: int = 0) -> dic
          for b, s in zip(sorted(batched.results, key=lambda r: r.request.req_id),
                          sorted(baseline.results, key=lambda r: r.request.req_id))),
         default=0.0)
+
+    single = serve_sharded(num_requests, 1, policy, seed=seed)
+    sharded = serve_sharded(num_requests, devices, policy, seed=seed, verify=True)
+    makespan = sharded.sim_makespan_s
     return {
         "scenario": "steady",
         "requests": num_requests,
         "batch_size": batch,
+        "seed": seed,
         "baseline_throughput_rps": baseline.throughput_rps,
         "batched_throughput_rps": batched.throughput_rps,
         "speedup": (batched.throughput_rps / baseline.throughput_rps
                     if baseline.throughput_rps else float("inf")),
+        "sim_throughput_rps": batched.sim_throughput_rps,
         "p50_latency_ms": 1e3 * batched.p50_latency_s,
         "p95_latency_ms": 1e3 * batched.p95_latency_s,
         "slo_hit_rate": batched.deadline_hit_rate,
@@ -81,10 +116,27 @@ def run_comparison(num_requests: int = 96, batch: int = 8, seed: int = 0) -> dic
         "mean_batch_size": batched.mean_batch_size,
         "max_batch_vs_single_error": batched.max_verify_error,
         "max_cross_engine_error": cross_err,
+        "sharded": {
+            "scenario": "bursty",
+            "devices": devices,
+            "policy": policy,
+            "requests": num_requests,
+            "sim_rps_single_device": single.sim_throughput_rps,
+            "sim_rps_sharded": sharded.sim_throughput_rps,
+            "scaling": (sharded.sim_throughput_rps / single.sim_throughput_rps
+                        if single.sim_throughput_rps else float("inf")),
+            "p50_latency_ms": 1e3 * sharded.p50_latency_s,
+            "p95_latency_ms": 1e3 * sharded.p95_latency_s,
+            "max_verify_error": sharded.max_verify_error,
+            "per_shard": [s.as_dict(makespan) for s in sharded.shard_stats],
+        },
     }
 
 
 def render(digest: dict) -> str:
+    sharded = digest["sharded"]
+    shard_util = " ".join(f"{100 * s['utilization']:.0f}%"
+                          for s in sharded["per_shard"])
     rows = [
         f"{'path':<22} {'req/s':>10} {'p50 ms':>8} {'p95 ms':>8} {'SLO':>6} {'cache':>6}",
         "-" * 66,
@@ -99,6 +151,14 @@ def render(digest: dict) -> str:
         f"speedup: {digest['speedup']:.2f}x  "
         f"(exactness: batch-vs-single {digest['max_batch_vs_single_error']:.2e}, "
         f"cross-engine {digest['max_cross_engine_error']:.2e})",
+        "",
+        f"sharded bursty ({sharded['policy']}, prewarmed):",
+        (f"  1 device  {sharded['sim_rps_single_device']:>10.0f} sim req/s   "
+         f"{sharded['devices']} devices  {sharded['sim_rps_sharded']:>10.0f} sim req/s   "
+         f"scaling {sharded['scaling']:.2f}x"),
+        (f"  p50 {sharded['p50_latency_ms']:.2f} ms  p95 "
+         f"{sharded['p95_latency_ms']:.2f} ms  shard utilization [{shard_util}]  "
+         f"verify {sharded['max_verify_error']:.2e}"),
     ]
     return "\n".join(rows)
 
@@ -108,15 +168,17 @@ def render(digest: dict) -> str:
 # ---------------------------------------------------------------------------
 
 def test_serve_shape():
-    digest = run_comparison(num_requests=96, batch=8)
+    digest = run_comparison(num_requests=96, batch=8, devices=4)
     write_result("serve_throughput", render(digest))
     write_json_result("serve", digest)
-    # acceptance: batching wins >= 3x, cache serves the steady traffic,
-    # and batching changes no output
+    # acceptance: batching wins >= 3x, sharding >= 2.5x, cache serves the
+    # steady traffic, and neither batching nor sharding changes any output
     assert digest["speedup"] >= 3.0
+    assert digest["sharded"]["scaling"] >= 2.5
     assert digest["cache_hit_rate"] > 0.80
     assert digest["max_batch_vs_single_error"] < 1e-9
     assert digest["max_cross_engine_error"] < 1e-9
+    assert digest["sharded"]["max_verify_error"] < 1e-9
     assert digest["slo_hit_rate"] == 1.0
 
 
@@ -137,15 +199,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="small, fast run for CI (48 requests)")
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--devices", type=int, default=4,
+                        help="device shards for the sharded comparison")
+    parser.add_argument("--policy", default="least-loaded",
+                        choices=["round-robin", "least-loaded"])
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     num = args.requests or (48 if args.smoke else 96)
-    digest = run_comparison(num_requests=num, batch=args.batch, seed=args.seed)
+    digest = run_comparison(num_requests=num, batch=args.batch, seed=args.seed,
+                            devices=args.devices, policy=args.policy)
     write_result("serve_throughput", render(digest))
     write_json_result("serve", digest)
     ok = (digest["max_batch_vs_single_error"] < 1e-9
+          and digest["sharded"]["max_verify_error"] < 1e-9
           and digest["cache_hit_rate"] > 0.5
-          and digest["speedup"] > 1.0)
+          and digest["speedup"] > 1.0
+          and (args.devices == 1 or digest["sharded"]["scaling"] > 1.0))
     print(f"smoke {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""CI bench-regression gate for the serving bench.
+
+Loads the committed ``benchmarks/results/BENCH_serve.json`` baseline
+*before* anything can overwrite it, re-runs the serving bench at the
+baseline's own configuration (requests/batch/devices/policy), and fails
+when the fresh run regresses:
+
+- simulated throughput drops more than ``--max-throughput-drop``
+  (default 15%) — both the batched steady path and the sharded bursty
+  path are gated;
+- simulated p95 latency rises more than ``--max-p95-increase``
+  (default 20%);
+- batched/sharded outputs deviate from per-request outputs (exactness
+  is gated unconditionally at 1e-9).
+
+Only *simulated* metrics are gated: they are deterministic functions of
+the analytic latency model and the seeded traffic, so any drift is a
+real behavioural change.  Wall-clock throughput and the batched speedup
+are recorded in the report but never gated — they measure the CI
+runner, not the code.
+
+The comparison report lands in
+``benchmarks/results/bench_regression_report.json`` (uploaded as a CI
+artifact next to the fresh ``BENCH_serve.json``).  After an intentional
+performance change, regenerate and commit the baseline with
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_serve.json"
+DEFAULT_REPORT = REPO_ROOT / "benchmarks" / "results" / "bench_regression_report.json"
+# the fresh full-config digest, written next to the report so the CI
+# artifact always carries a digest directly comparable to (and, after an
+# intentional perf change, committable as) the baseline — unlike the
+# 48-request BENCH_serve.json the later smoke step leaves behind
+DEFAULT_FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_serve.fresh.json"
+
+# gated (metric path, kind); "higher" metrics fail on drops, "lower" on rises
+GATED_METRICS = (
+    ("sim_throughput_rps", "higher_is_better"),
+    ("p95_latency_ms", "lower_is_better"),
+    ("sharded.sim_rps_sharded", "higher_is_better"),
+    ("sharded.p95_latency_ms", "lower_is_better"),
+)
+# recorded for the report but never gated: wall-clock, runner-dependent
+INFORMATIONAL_METRICS = (
+    "baseline_throughput_rps",
+    "batched_throughput_rps",
+    "speedup",
+    "sharded.scaling",
+)
+EXACTNESS_METRICS = (
+    "max_batch_vs_single_error",
+    "max_cross_engine_error",
+    "sharded.max_verify_error",
+)
+EXACTNESS_TOL = 1e-9
+
+
+def _lookup(digest: dict, path: str) -> Optional[float]:
+    node = digest
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(baseline: dict, fresh: dict, *, max_throughput_drop: float = 0.15,
+            max_p95_increase: float = 0.20) -> List[dict]:
+    """Diff two bench digests; returns one finding per checked metric.
+
+    Pure so the gate logic is unit-testable without running the bench.
+    A metric missing from the *baseline* passes with a note (older
+    baselines predate it); missing from the *fresh* run fails (the bench
+    stopped reporting a gated number).
+    """
+    findings = []
+    for path, kind in GATED_METRICS:
+        base, new = _lookup(baseline, path), _lookup(fresh, path)
+        finding = {"metric": path, "baseline": base, "fresh": new, "gated": True}
+        if base is None:
+            finding.update(ok=True, note="metric absent from baseline; skipped")
+        elif new is None:
+            finding.update(ok=False, note="metric missing from fresh run")
+        elif kind == "higher_is_better":
+            floor = base * (1.0 - max_throughput_drop)
+            finding.update(
+                ok=new >= floor, limit=floor,
+                note=f"must stay >= {floor:.1f} "
+                     f"({100 * max_throughput_drop:.0f}% drop allowed)")
+        else:
+            ceiling = base * (1.0 + max_p95_increase)
+            finding.update(
+                ok=new <= ceiling, limit=ceiling,
+                note=f"must stay <= {ceiling:.3f} "
+                     f"({100 * max_p95_increase:.0f}% increase allowed)")
+        findings.append(finding)
+    for path in EXACTNESS_METRICS:
+        new = _lookup(fresh, path)
+        findings.append({
+            "metric": path, "baseline": EXACTNESS_TOL, "fresh": new,
+            "gated": True, "ok": new is not None and new < EXACTNESS_TOL,
+            "note": f"outputs must match per-request to {EXACTNESS_TOL:.0e}"})
+    for path in INFORMATIONAL_METRICS:
+        findings.append({
+            "metric": path, "baseline": _lookup(baseline, path),
+            "fresh": _lookup(fresh, path), "gated": False, "ok": True,
+            "note": "informational (wall-clock / runner-dependent)"})
+    return findings
+
+
+def run_fresh(baseline: dict) -> dict:
+    """Re-run the serving bench at the committed baseline's configuration."""
+    sys.path.insert(0, str(REPO_ROOT))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from benchmarks.bench_serve import run_comparison
+
+    sharded = baseline.get("sharded", {})
+    return run_comparison(
+        num_requests=int(baseline.get("requests", 96)),
+        batch=int(baseline.get("batch_size", 8)),
+        seed=int(baseline.get("seed", 0)),
+        devices=int(sharded.get("devices", 4)),
+        policy=str(sharded.get("policy", "least-loaded")))
+
+
+def render(findings: List[dict]) -> str:
+    rows = [f"{'metric':<32} {'baseline':>12} {'fresh':>12}  verdict",
+            "-" * 72]
+    for f in findings:
+        base = "-" if f["baseline"] is None else f"{f['baseline']:.4g}"
+        new = "-" if f["fresh"] is None else f"{f['fresh']:.4g}"
+        verdict = ("PASS" if f["ok"] else "FAIL") if f["gated"] else "info"
+        rows.append(f"{f['metric']:<32} {base:>12} {new:>12}  {verdict}")
+    return "\n".join(rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help="committed bench digest to regress against")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_REPORT,
+                        help="where to write the comparison report JSON")
+    parser.add_argument("--fresh-output", type=pathlib.Path, default=DEFAULT_FRESH,
+                        help="where to write the fresh full-config digest "
+                             "(committable as a new baseline)")
+    parser.add_argument("--max-throughput-drop", type=float, default=0.15,
+                        help="allowed fractional drop in simulated throughput")
+    parser.add_argument("--max-p95-increase", type=float, default=0.20,
+                        help="allowed fractional rise in simulated p95 latency")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="overwrite the baseline with the fresh digest "
+                             "instead of gating (commit the result)")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"error: no committed baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    # read the baseline before the bench overwrites BENCH_serve.json in place
+    baseline = json.loads(args.baseline.read_text())
+    fresh = run_fresh(baseline)
+    args.fresh_output.parent.mkdir(parents=True, exist_ok=True)
+    args.fresh_output.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+
+    if args.update_baseline:
+        args.baseline.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated -> {args.baseline}")
+        return 0
+
+    findings = compare(baseline, fresh,
+                       max_throughput_drop=args.max_throughput_drop,
+                       max_p95_increase=args.max_p95_increase)
+    failures = [f for f in findings if f["gated"] and not f["ok"]]
+    report = {
+        "ok": not failures,
+        "baseline_path": str(args.baseline),
+        "max_throughput_drop": args.max_throughput_drop,
+        "max_p95_increase": args.max_p95_increase,
+        "findings": findings,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(render(findings))
+    print(f"\nreport -> {args.output}")
+    if failures:
+        print(f"\nbench regression: {len(failures)} gated metric(s) failed "
+              "(if intentional, rerun with --update-baseline and commit)")
+        return 1
+    print("\nno bench regression detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -197,7 +197,8 @@ def cmd_serve(args) -> int:
         max_len=args.max_len, pattern_size=args.pattern_size, seed=args.seed,
         max_batch=args.batch_size, window_s=args.window_ms / 1e3,
         use_cache=not args.no_cache, cache_capacity=args.cache_capacity,
-        verify=args.verify))
+        verify=args.verify, devices=args.devices, policy=args.policy,
+        time_sliced=not args.no_time_slice))
     trace = build_scenario(args.scenario, workload, ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
         seq_len=args.seq_len, max_len=args.max_len, seed=args.seed))
@@ -260,9 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser("serve", help="batched serving of a traffic scenario")
     p_serve.add_argument("--scenario", default="steady",
-                         choices=["steady", "bursty", "battery"])
+                         choices=["steady", "bursty", "battery", "bandwidth"])
     p_serve.add_argument("--requests", type=int, default=96)
     p_serve.add_argument("--batch-size", type=int, default=8)
+    p_serve.add_argument("--devices", type=int, default=1,
+                         help="number of simulated device shards")
+    p_serve.add_argument("--policy", default="round-robin",
+                         choices=["round-robin", "least-loaded"],
+                         help="batch dispatch policy across shards")
+    p_serve.add_argument("--no-time-slice", action="store_true",
+                         help="charge every batch member the full batch "
+                              "service time (pre-sharding completion model)")
     p_serve.add_argument("--window-ms", type=float, default=50.0,
                          help="micro-batching window")
     p_serve.add_argument("--dim", type=int, default=32)

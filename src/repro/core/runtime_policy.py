@@ -54,6 +54,11 @@ class AdaptationReport:
         return sum(1 for e in self.events if e.chosen_sparsity is None)
 
 
+# distinguishes "caller did not resolve feasibility" from a resolved None
+# (None is a meaningful result: no candidate meets the deadline)
+_UNRESOLVED = object()
+
+
 class RuntimeAdapter:
     """Pick the most accurate feasible pattern set as constraints move.
 
@@ -93,27 +98,50 @@ class RuntimeAdapter:
                 return sparsity
         return None
 
-    def adapt(self, level: VFLevel, deadline_s: float) -> AdaptationEvent:
-        """React to a new (level, deadline) operating point."""
+    def plan(self, level: VFLevel, deadline_s: float,
+             active_sparsity: Optional[float],
+             chosen: object = _UNRESOLVED) -> AdaptationEvent:
+        """Pure adaptation decision against an explicit installed state.
+
+        Side-effect-free twin of :meth:`adapt`: the caller supplies which
+        sparsity is currently installed and receives the event (including
+        the switch cost a change would incur) without the adapter mutating
+        its own state or touching the mask manager.  Sharded serving uses
+        this so every simulated device can track — and pay for — its *own*
+        installed pattern set while sharing one adapter.
+
+        ``chosen`` lets a caller that already resolved
+        :meth:`feasible_sparsity` for this exact ``(level, deadline)``
+        pass the result in, skipping a repeated ladder walk (the serving
+        engine resolves it once at routing time).
+        """
         if deadline_s <= 0:
             raise ValueError("deadline must be positive")
-        chosen = self.feasible_sparsity(level, deadline_s)
+        if chosen is _UNRESOLVED:
+            chosen = self.feasible_sparsity(level, deadline_s)
         effective = chosen if chosen is not None else self.candidates[-1][0]
         lat = self.latency.latency_s(
             self.workload, level, effective, SparsityKind.PATTERN,
             self.hardware_pattern_size,
         )
-        switched = chosen is not None and chosen != self.active_sparsity
+        switched = chosen is not None and chosen != active_sparsity
         switch: Optional[SwitchStats] = None
         if switched:
             pset = dict(self.candidates)[chosen]
             switch = self.reconfigurator.pattern_switch(
                 self.workload, len(pset), self.hardware_pattern_size
             )
+        return AdaptationEvent(deadline_s, level.name, chosen, lat, switched, switch)
+
+    def adapt(self, level: VFLevel, deadline_s: float) -> AdaptationEvent:
+        """React to a new (level, deadline) operating point."""
+        event = self.plan(level, deadline_s, self.active_sparsity)
+        if event.switched:
+            pset = dict(self.candidates)[event.chosen_sparsity]
             if self.manager is not None:
                 self.manager.apply(pset)
-            self.active_sparsity = chosen
-        return AdaptationEvent(deadline_s, level.name, chosen, lat, switched, switch)
+            self.active_sparsity = event.chosen_sparsity
+        return event
 
     def run(self, trace: Sequence[Tuple[VFLevel, float]]) -> AdaptationReport:
         """Adapt along a (level, deadline) trace; returns the event log."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import List
 
 from repro.hardware import calibration
 from repro.hardware.dvfs import VFLevel
@@ -139,6 +140,28 @@ class LatencyModel:
         cycles = self.batch_breakdown(workload, batch, sparsity, kind,
                                       pattern_size).total_cycles
         return cycles / level.freq_hz
+
+    def batch_completion_offsets_s(self, workload: WorkloadProfile, level: VFLevel,
+                                   batch: int, sparsity: float = 0.0,
+                                   kind: SparsityKind = SparsityKind.DENSE,
+                                   pattern_size: int = 100) -> List[float]:
+        """Per-position completion offsets inside one micro-batch.
+
+        Time-sliced completion model: the device streams the batch through
+        its MAC array one member at a time, so position ``i``'s output is
+        ready once the shared per-invocation overhead plus ``i + 1``
+        requests' worth of MAC work has elapsed — it does not wait for the
+        members queued behind it.  The final offset equals
+        :meth:`batch_latency_s` exactly (same cycles, just attributed per
+        member), so time slicing never changes when a batch *ends*, only
+        when its early members may exit.
+        """
+        one = self.breakdown(workload, sparsity, kind, pattern_size)
+        mac_s = one.mac_cycles / level.freq_hz
+        overhead_s = one.overhead_cycles / level.freq_hz
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        return [overhead_s + (i + 1) * mac_s for i in range(batch)]
 
     # ------------------------------------------------------------------
     def sparsity_for_deadline(

@@ -10,6 +10,7 @@ zeros from updating effective weights — to subsequent inference.
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import Optional
 
@@ -22,6 +23,11 @@ from repro.tensor.tensor import Tensor
 
 def _rng(seed: Optional[int]) -> np.random.Generator:
     return np.random.default_rng(seed)
+
+
+# process-unique Linear ids: cache tokens must never collide across
+# coexisting models even when layer names and shapes coincide
+_linear_uid = itertools.count()
 
 
 class Linear(Module):
@@ -47,6 +53,8 @@ class Linear(Module):
         else:
             self.bias = None
         self.mask: Optional[np.ndarray] = None
+        self._uid = next(_linear_uid)
+        self._mask_version = 0
 
     def set_mask(self, mask: Optional[np.ndarray]) -> None:
         if mask is not None:
@@ -54,6 +62,22 @@ class Linear(Module):
             if mask.shape != self.weight.shape:
                 raise ValueError(f"mask shape {mask.shape} != weight shape {self.weight.shape}")
         self.mask = mask
+        self._mask_version += 1
+
+    @property
+    def cache_token(self) -> str:
+        """O(1) identity of the effective (masked) weight content.
+
+        Combines the process-unique layer id, the weight's update counter
+        (bumped by optimizers / ``load_state_dict``) and the mask install
+        counter — everything ``weight * mask`` depends on — so caches can
+        key on this token instead of hashing the weight bytes, which
+        dominated small-layer lookups (ROADMAP open item).  Two tokens are
+        equal iff they describe the same layer with no intervening weight
+        or mask update; unlike a content hash, re-installing an identical
+        mask yields a fresh token (a miss, never a stale hit).
+        """
+        return f"u{self._uid}.w{self.weight.version}.m{self._mask_version}"
 
     def effective_weight(self) -> Tensor:
         if self.mask is None:

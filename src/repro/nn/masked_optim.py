@@ -68,5 +68,6 @@ class MaskedAdam(Adam):
             mask = self.freeze_masks.get(id(p))
             if mask is not None:
                 p.data *= mask
+                p.bump_version()
                 m *= mask
                 v *= mask

@@ -17,10 +17,23 @@ from repro.tensor.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A trainable tensor (``requires_grad=True`` by construction)."""
+    """A trainable tensor (``requires_grad=True`` by construction).
+
+    ``version`` counts content updates: every sanctioned mutation path
+    (optimizer steps, masked-optimizer pinning, ``load_state_dict``)
+    bumps it, so caches keyed on the version never pay to hash the data
+    — the O(1) replacement for content digests on serving hot paths.
+    Code that mutates ``data`` in place through any other route must
+    call :meth:`bump_version` itself.
+    """
 
     def __init__(self, data, name: str = "") -> None:
         super().__init__(data, requires_grad=True, name=name)
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Declare that ``data`` changed (invalidates version-keyed caches)."""
+        self.version += 1
 
 
 class Module:
@@ -99,6 +112,7 @@ class Module:
                 if own[name].shape != value.shape:
                     raise ValueError(f"shape mismatch for {name}: {own[name].shape} vs {value.shape}")
                 own[name].data[...] = value
+                own[name].bump_version()
 
     # ------------------------------------------------------------------
     # call protocol

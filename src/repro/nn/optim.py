@@ -51,6 +51,7 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -82,6 +83,7 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * g * g
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            p.bump_version()
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:

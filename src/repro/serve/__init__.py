@@ -1,12 +1,43 @@
-"""Batched inference serving: micro-batching, artifact caching, scenarios.
+"""Sharded batched inference serving: micro-batching, caching, scenarios.
 
 The production half of run-time reconfiguration: instead of one request
 at a time through :class:`~repro.core.runtime_policy.RuntimeAdapter`,
-traffic is grouped into padded micro-batches per operating point, masks
-and sparse-format conversions are memoized in an LRU artifact cache, and
-scenario generators replay the paper's deployment stories (steady
-translation, bursty interactive events, battery drain) as request
-traces.
+traffic is grouped into padded micro-batches per operating point and
+routed across ``N`` simulated devices, masks and sparse-format
+conversions are memoized in an LRU artifact cache, and scenario
+generators replay the paper's deployment stories as request traces.
+
+Layout
+------
+- :mod:`~repro.serve.batcher`   — requests, padding-exact vectorized
+  forwards, the compatibility-keyed micro-batcher;
+- :mod:`~repro.serve.sharding`  — :class:`DeviceShard` (per-V/F-level
+  FIFO queues, per-device clock and installed-pattern state) and the
+  :class:`Dispatcher` routing policies ``round-robin`` /
+  ``least-loaded`` (smallest estimated backlog wins);
+- :mod:`~repro.serve.engine`    — the sharded :class:`ServeEngine` with
+  the *time-sliced* completion model: each request finishes at its own
+  offset inside the batch (overhead + its share of MAC work) instead of
+  paying the whole batch service time, which sharpens p50 under light
+  load without moving any batch's end time;
+- :mod:`~repro.serve.scenarios` — ``steady`` / ``bursty`` / ``battery``
+  / ``bandwidth`` traffic generators; ``bandwidth`` is the paper's
+  translation example, a fluctuating network-bandwidth trace driving
+  per-request deadline jitter;
+- :mod:`~repro.serve.cache`     — the LRU :class:`ArtifactCache`.
+
+CLI and benchmarking
+--------------------
+``rt3 serve --scenario bandwidth --devices 4 --policy least-loaded``
+serves a scenario on a sharded demo stack (``--no-time-slice`` restores
+whole-batch completions).  ``benchmarks/bench_serve.py`` measures the
+batched-vs-single speedup and the multi-device scaling, and writes a
+machine-readable digest to ``benchmarks/results/BENCH_serve.json``.
+CI regresses every PR against the committed copy of that file via
+``scripts/check_bench_regression.py``, which re-runs the bench at the
+baseline's own configuration and fails on a >15% simulated-throughput
+drop or a >20% simulated-p95 increase (wall-clock numbers are reported
+but not gated — they depend on the runner).
 """
 
 from repro.serve.batcher import (
@@ -18,10 +49,18 @@ from repro.serve.batcher import (
 )
 from repro.serve.cache import ArtifactCache, CacheStats, LRUCache
 from repro.serve.engine import ServeEngine, ServeReport
+from repro.serve.sharding import (
+    POLICIES,
+    DeviceShard,
+    Dispatcher,
+    QueuedBatch,
+    ShardStats,
+)
 from repro.serve.stack import StackConfig, build_serving_stack
 from repro.serve.scenarios import (
     SCENARIOS,
     ScenarioConfig,
+    bandwidth_fluctuation,
     battery_drain_longtail,
     build_scenario,
     bursty_interactive,
@@ -31,15 +70,21 @@ from repro.serve.scenarios import (
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "DeviceShard",
+    "Dispatcher",
     "InferenceRequest",
     "LRUCache",
     "MicroBatcher",
+    "POLICIES",
+    "QueuedBatch",
     "RequestResult",
     "SCENARIOS",
     "ScenarioConfig",
     "ServeEngine",
     "ServeReport",
+    "ShardStats",
     "StackConfig",
+    "bandwidth_fluctuation",
     "battery_drain_longtail",
     "build_scenario",
     "build_serving_stack",

@@ -83,6 +83,8 @@ class RequestResult:
     service_s: float = 0.0
     completion_s: float = 0.0
     sparsity: Optional[float] = None
+    # which simulated device served the batch (0 on a single-device engine)
+    shard_id: int = 0
 
     @property
     def latency_s(self) -> float:

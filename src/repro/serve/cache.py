@@ -141,7 +141,9 @@ class ArtifactCache:
       :func:`repro.core.patterns.pattern_mask_for_matrix`, keyed by
       ``(layer, pattern_set_digest)``;
     - *formats*: packed sparse matrices from :mod:`repro.sparse.formats`,
-      keyed by ``(layer, weight_digest, format)``.
+      keyed by ``(layer, weight_token, format)`` where the token is the
+      owning layer's O(1) version counter
+      (:attr:`repro.nn.layers.Linear.cache_token`).
 
     One shared :class:`LRUCache` backs both namespaces so a single
     capacity bound governs total memory.
@@ -195,8 +197,9 @@ class ArtifactCache:
         set digest and the format entries' config field (which carries
         the pattern-set digest for pattern conversions).  ``owner``
         drops one mask manager's entries — the weight-update path —
-        without touching format conversions, which are content-keyed
-        and can never go stale.
+        without touching format conversions, whose version-token keys
+        (layer uid + weight/mask update counters) already miss on any
+        declared weight or mask change.
         """
         if layer is None and set_digest is None and owner is None:
             return self.store.invalidate()

@@ -1,31 +1,41 @@
-"""Batched serving engine: traffic in, adaptation + padded batches out.
+"""Sharded serving engine: traffic in, adaptation + padded batches out.
 
-The engine owns the serving timeline.  For each micro-batch it
+The engine owns the serving timeline.  Micro-batches are routed across
+``devices`` simulated devices (:mod:`repro.serve.sharding`); for each
+micro-batch the engine
 
 1. resolves the batch's operating point — every member shares a V/F
    level and a feasible pattern sparsity (that is the batcher's
-   compatibility key), so the :class:`~repro.core.runtime_policy.RuntimeAdapter`
-   is driven once *per batch* instead of once per request;
+   compatibility key) — via the side-effect-free
+   :meth:`~repro.core.runtime_policy.RuntimeAdapter.plan`, charged
+   against the *target shard's* installed-pattern state, so each
+   simulated device pays for its own reconfiguration switches;
 2. installs the batch's pattern masks through the
    :class:`~repro.core.patterns.MaskManager`, where the
    :class:`~repro.serve.cache.ArtifactCache` turns repeat installs into
    lookups;
 3. executes one vectorized, padding-exact forward pass
    (:func:`~repro.serve.batcher.run_padded`);
-4. advances a simulated device clock using the analytic batch latency
+4. advances the shard's simulated clock using the analytic batch latency
    (MAC work × batch, per-invocation overhead paid once) plus any
-   reconfiguration switch cost.
+   reconfiguration switch cost.  With ``time_sliced=True`` (the default)
+   each request *completes* at its own offset inside the batch — the
+   device streams members out as their MAC work finishes — so light-load
+   p50 is no longer distorted by whole-batch service times.  The batch's
+   last member always completes exactly when the non-sliced batch would,
+   so time slicing changes per-request latency, never throughput.
 
-Setting ``max_batch=1`` with no cache reproduces the repo's original
-single-request path — mask re-derivation and one forward per request —
-which is exactly the baseline the serving bench compares against.
+Setting ``devices=1, time_sliced=False, max_batch=1`` with no cache
+reproduces the repo's original single-request path — mask re-derivation
+and one forward per request — which is exactly the baseline the serving
+bench compares against.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +49,13 @@ from repro.serve.batcher import (
     run_padded,
 )
 from repro.serve.cache import ArtifactCache, CacheStats
+from repro.serve.sharding import (
+    POLICIES,
+    DeviceShard,
+    Dispatcher,
+    QueuedBatch,
+    ShardStats,
+)
 
 
 @dataclass
@@ -50,6 +67,9 @@ class ServeReport:
     wall_seconds: float = 0.0
     cache_stats: Optional[CacheStats] = None
     max_verify_error: Optional[float] = None
+    shard_stats: List[ShardStats] = field(default_factory=list)
+    policy: str = "round-robin"
+    time_sliced: bool = True
 
     # -- request-level aggregates --------------------------------------
     @property
@@ -78,6 +98,10 @@ class ServeReport:
         """Requests/second on the simulated device timeline."""
         span = self.sim_makespan_s
         return self.num_requests / span if span > 0 else 0.0
+
+    @property
+    def devices(self) -> int:
+        return max(1, len(self.shard_stats))
 
     def latency_percentile(self, q: float) -> float:
         if not self.results:
@@ -121,7 +145,13 @@ class ServeReport:
             "switches": self.num_switches,
             "violations": self.violations,
             "wall_seconds": self.wall_seconds,
+            "devices": self.devices,
+            "policy": self.policy,
+            "time_sliced": self.time_sliced,
         }
+        if self.shard_stats:
+            makespan = self.sim_makespan_s
+            out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
         if self.cache_stats is not None:
             out["cache"] = self.cache_stats.as_dict()
         if self.max_verify_error is not None:
@@ -130,20 +160,27 @@ class ServeReport:
 
 
 class ServeEngine:
-    """Serve a request trace through a masked model.
+    """Serve a request trace through a masked model on N simulated devices.
 
     ``adapter`` supplies the sparsity ladder, latency model and (via its
     ``manager``) the mask installation path; ``cache`` (optional) is
     attached to the manager so repeated installs of a known pattern set
-    hit instead of re-deriving masks.  ``verify`` re-runs every batch
-    member individually and records the worst absolute deviation — the
-    padding-exactness guarantee, at roughly double the compute.
+    hit instead of re-deriving masks.  ``devices``/``policy`` control the
+    shard fan-out and routing (:mod:`repro.serve.sharding`);
+    ``time_sliced`` picks the per-request completion model.  ``verify``
+    re-runs every batch member individually and records the worst
+    absolute deviation — the padding-exactness guarantee, at roughly
+    double the compute.
     """
 
     def __init__(self, model, adapter: RuntimeAdapter, *, max_batch: int = 8,
                  window_s: float = 0.05, cache: Optional[ArtifactCache] = None,
                  pad_id: int = 0, dvfs: Optional[DVFSTable] = None,
-                 verify: bool = False, reinstall_per_batch: bool = True) -> None:
+                 verify: bool = False, reinstall_per_batch: bool = True,
+                 devices: int = 1, policy: str = "round-robin",
+                 time_sliced: bool = True, prewarm: bool = False) -> None:
+        if devices < 1:
+            raise ValueError("devices must be at least 1")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -159,6 +196,24 @@ class ServeEngine:
         # ``manager.active_set`` and skip installs when the batch keeps
         # the previous operating point.
         self.reinstall_per_batch = reinstall_per_batch
+        self.devices = devices
+        self.policy = policy
+        self.time_sliced = time_sliced
+        # ``prewarm=True`` models deploy-time provisioning: each device
+        # starts with the pattern set of its first routed batch already
+        # resident (installed before traffic, so not charged to the
+        # serving timeline).  Only *run-time reconfiguration* switches are
+        # billed then, which is the paper's deployment story — the
+        # searched pattern sets ship with the model.  Default False keeps
+        # the historical cold-start accounting.
+        self.prewarm = prewarm
+        # installed pattern set per device, surviving across serve() calls:
+        # a device keeps its masks between traces, so a follow-up run must
+        # not re-charge the cold-start install
+        self._device_state: Dict[int, Optional[float]] = {}
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {policy!r}; options: {list(POLICIES)}")
         self.ladder: Dict[float, object] = dict(adapter.candidates)
         self.fallback_sparsity: float = adapter.candidates[-1][0]
         self.batcher = MicroBatcher(max_batch, window_s, key_fn=self._compat_key)
@@ -174,61 +229,26 @@ class ServeEngine:
         return (request.level_name, sparsity)
 
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
-        report = ServeReport(cache_stats=None)
-        groups = self.batcher.batches(requests)
-        clock = 0.0
-        worst_err = 0.0
-        verify_wall = 0.0
-        cache_start = (self.cache.stats.snapshot()
-                       if self.cache is not None else None)
-        start_wall = time.perf_counter()
-        for batch_id, group in enumerate(groups):
+    def _route_all(self, groups: Sequence[List[InferenceRequest]]
+                   ) -> List[DeviceShard]:
+        """Phase 1: assign every micro-batch to a simulated device."""
+        shards = [DeviceShard(i) for i in range(self.devices)]
+        for shard in shards:
+            # a device resumes with whatever it had installed last run; a
+            # device this engine never used starts from the adapter's own
+            # installed state (deploy-time provisioning is shared — every
+            # replica ships with the masks installed before serving began)
+            shard.active_sparsity = self._device_state.get(
+                shard.shard_id, self.adapter.active_sparsity)
+        dispatcher = Dispatcher(self.policy)
+        for seq, group in enumerate(groups):
             level = self._level(group[0].level_name)
-            event = self.adapter.adapt(level, min(r.deadline_s for r in group))
-            manager = self.adapter.manager
-            effective = event.chosen_sparsity
-            extra_switch_s = 0.0
-            installed_this_batch = False
-            if effective is None:
-                # Infeasible deadline: keep whatever is installed (no
-                # phantom swap).  Only when nothing is installed yet fall
-                # back to the sparsest set — a real switch, charged as one.
-                if self.adapter.active_sparsity is not None:
-                    effective = self.adapter.active_sparsity
-                else:
-                    effective = self.fallback_sparsity
-                    pset = self.ladder[effective]
-                    stats = self.adapter.reconfigurator.pattern_switch(
-                        self.adapter.workload, len(pset),
-                        self.adapter.hardware_pattern_size)
-                    extra_switch_s = stats.seconds
-                    if manager is not None:
-                        manager.apply(pset)
-                        installed_this_batch = True
-                    self.adapter.active_sparsity = effective
-            if manager is not None and not event.switched and not installed_this_batch and (
-                    self.reinstall_per_batch
-                    or manager.active_set is not self.ladder[effective]):
-                # Re-install the batch's masks; with a cache this is a
-                # lookup, without one it re-derives every layer (the
-                # single-request baseline behaviour).
-                manager.apply(self.ladder[effective])
-            outputs = run_padded(self.model, group, self.pad_id)
-            if self.verify:
-                # excluded from the timed hot path: this doubles the compute
-                verify_start = time.perf_counter()
-                for req, out in zip(group, outputs):
-                    solo = run_padded(self.model, [req], self.pad_id)[0]
-                    worst_err = max(worst_err, float(np.abs(out - solo).max()))
-                verify_wall += time.perf_counter() - verify_start
-
-            service = self.adapter.latency.batch_latency_s(
-                self.adapter.workload, level, len(group), effective,
+            sparsity = self.adapter.feasible_sparsity(
+                level, min(r.deadline_s for r in group))
+            est = self.adapter.latency.batch_latency_s(
+                self.adapter.workload, level, len(group),
+                sparsity if sparsity is not None else self.fallback_sparsity,
                 SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
-            service += extra_switch_s
-            if event.switch is not None:
-                service += event.switch.seconds
             # Dispatch time: a full batch leaves when its last member
             # arrives; a partial batch waits out the batching window from
             # its first member (the online batcher cannot know no more
@@ -237,16 +257,126 @@ class ServeEngine:
                 ready = max(r.arrival_s for r in group)
             else:
                 ready = group[0].arrival_s + self.batcher.window_s
-            begin = max(clock, ready)
-            clock = begin + service
-            for req, out in zip(group, outputs):
-                report.results.append(RequestResult(
-                    request=req, output=out, batch_id=batch_id,
-                    batch_size=len(group), queue_wait_s=begin - req.arrival_s,
-                    service_s=service, completion_s=clock,
-                    sparsity=effective))
-            report.events.append(event)
+            dispatcher.route(
+                QueuedBatch(seq, list(group), level.name, ready, est,
+                            sparsity=sparsity), shards)
+        return shards
+
+    def _resolve_operating_point(self, shard: DeviceShard, level: VFLevel,
+                                 qb: QueuedBatch
+                                 ) -> Tuple[AdaptationEvent, float, float, bool]:
+        """Adaptation decision against the shard's own installed state.
+
+        Returns ``(event, effective_sparsity, switch_seconds, installed)``
+        where ``switch_seconds`` is the total reconfiguration cost this
+        batch pays on its device (planned switch and/or cold-start
+        fallback) and ``installed`` says whether the device physically
+        installed a pattern set for this batch (for per-shard switch
+        accounting — the fallback install is not an adapter switch, but
+        it is a device one).
+        """
+        event = self.adapter.plan(level,
+                                  min(r.deadline_s for r in qb.requests),
+                                  shard.active_sparsity, chosen=qb.sparsity)
+        effective = event.chosen_sparsity
+        switch_s = event.switch.seconds if event.switch is not None else 0.0
+        installed = event.switched
+        if effective is None:
+            # Infeasible deadline: keep whatever this device has installed
+            # (no phantom swap).  Only when nothing is installed yet fall
+            # back to the sparsest set — a real switch, charged as one.
+            if shard.active_sparsity is not None:
+                effective = shard.active_sparsity
+            else:
+                effective = self.fallback_sparsity
+                pset = self.ladder[effective]
+                stats = self.adapter.reconfigurator.pattern_switch(
+                    self.adapter.workload, len(pset),
+                    self.adapter.hardware_pattern_size)
+                switch_s += stats.seconds
+                installed = True
+        shard.active_sparsity = effective
+        return event, effective, switch_s, installed
+
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
+        report = ServeReport(cache_stats=None, policy=self.policy,
+                             time_sliced=self.time_sliced)
+        cache_start = (self.cache.stats.snapshot()
+                       if self.cache is not None else None)
+        # the measured hot path covers batching + routing + per-batch work
+        start_wall = time.perf_counter()
+        shards = self._route_all(self.batcher.batches(requests))
+        if self.prewarm:
+            for shard in shards:
+                heads = [q[0] for q in shard.queues.values() if q]
+                if not heads or shard.active_sparsity is not None:
+                    continue
+                first = min(heads, key=lambda b: b.seq)
+                sparsity = self.adapter.feasible_sparsity(
+                    self._level(first.level_name),
+                    min(r.deadline_s for r in first.requests))
+                if sparsity is not None:
+                    shard.active_sparsity = sparsity
+        manager = self.adapter.manager
+        events: List[Tuple[int, AdaptationEvent]] = []
+        worst_err = 0.0
+        verify_wall = 0.0
+        last_effective: Optional[float] = None
+        # Phase 2: each shard drains its per-level queues on its own clock.
+        # Shards share one model, so masks are (re)installed per batch —
+        # with the artifact cache this is a lookup, and it is what keeps
+        # sharded outputs exactly equal to per-request outputs.
+        for shard in shards:
+            for qb in shard.drain():
+                group = qb.requests
+                level = self._level(qb.level_name)
+                event, effective, switch_s, installed = \
+                    self._resolve_operating_point(shard, level, qb)
+                pset = self.ladder[effective]
+                if manager is not None and (self.reinstall_per_batch
+                                            or manager.active_set is not pset):
+                    manager.apply(pset)
+                last_effective = effective
+                outputs = run_padded(self.model, group, self.pad_id)
+                if self.verify:
+                    # excluded from the timed hot path: doubles the compute
+                    verify_start = time.perf_counter()
+                    for req, out in zip(group, outputs):
+                        solo = run_padded(self.model, [req], self.pad_id)[0]
+                        worst_err = max(worst_err,
+                                        float(np.abs(out - solo).max()))
+                    verify_wall += time.perf_counter() - verify_start
+
+                offsets = self.adapter.latency.batch_completion_offsets_s(
+                    self.adapter.workload, level, len(group), effective,
+                    SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+                service = switch_s + offsets[-1]
+                begin = max(shard.clock_s, qb.ready_s)
+                completion = begin + service
+                shard.record(qb, service, completion, installed)
+                for i, (req, out) in enumerate(zip(group, outputs)):
+                    member_service = (switch_s + offsets[i]
+                                      if self.time_sliced else service)
+                    report.results.append(RequestResult(
+                        request=req, output=out, batch_id=qb.seq,
+                        batch_size=len(group),
+                        queue_wait_s=begin - req.arrival_s,
+                        service_s=member_service,
+                        completion_s=begin + member_service,
+                        sparsity=effective, shard_id=shard.shard_id))
+                events.append((qb.seq, event))
         report.wall_seconds = time.perf_counter() - start_wall - verify_wall
+        self._device_state = {s.shard_id: s.active_sparsity for s in shards}
+        # keep the shared adapter's view in sync with the masks that ended
+        # up installed on the model (the last executed batch), so code
+        # mixing engine serving with direct adapter.adapt calls never
+        # charges a switch for a pattern set that is already resident
+        if last_effective is not None:
+            self.adapter.active_sparsity = last_effective
+        # deterministic report order regardless of shard interleaving
+        report.results.sort(key=lambda r: (r.batch_id, r.request.req_id))
+        report.events = [e for _, e in sorted(events, key=lambda t: t[0])]
+        report.shard_stats = [s.stats for s in shards]
         if self.cache is not None:
             # delta over this run only: the engine can serve many traces,
             # and each report describes its own run, not the lifetime

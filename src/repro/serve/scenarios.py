@@ -14,6 +14,11 @@ story from the paper's run-time reconfiguration argument:
 - ``battery`` — a long discharge: the battery governor walks the V/F
   level down as charge drains, while sequence lengths follow a long-tail
   (mostly short, occasionally near ``max_len``) distribution.
+- ``bandwidth`` — the paper's translation example: a fluctuating
+  network-bandwidth trace (noisy sinusoid) mapped directly onto
+  per-request deadline jitter — high bandwidth means the cloud covers
+  translation (loose local deadline), a degraded link forces the local
+  model to answer inside the interactive budget (tight deadline).
 
 Each request carries two budgets (see
 :class:`~repro.serve.batcher.InferenceRequest`): a *compute deadline* —
@@ -159,10 +164,58 @@ def battery_drain_longtail(workload: WorkloadProfile,
     return out
 
 
+def bandwidth_fluctuation(workload: WorkloadProfile,
+                          cfg: Optional[ScenarioConfig] = None,
+                          latency: Optional[LatencyModel] = None,
+                          rate_rps: float = 3000.0,
+                          period_s: float = 0.01,
+                          amplitude: float = 0.8,
+                          noise: float = 0.1,
+                          tight_factor: float = 1.05,
+                          loose_factor: float = 1.9,
+                          slo_margin_s: float = 0.02) -> List[InferenceRequest]:
+    """The paper's translation example: network bandwidth drives deadlines.
+
+    "Local language translation for on-line interactive events with a
+    fluctuating network bandwidth": while bandwidth is high the cloud
+    handles translation and the local model only backstops (loose
+    deadline); as bandwidth collapses the local model must answer inside
+    the interactive budget (tight deadline).  The trace models relative
+    bandwidth as a sinusoid with multiplicative log-normal noise and maps
+    it *directly onto per-request deadline jitter* — each request's
+    compute deadline interpolates between ``tight_factor`` and
+    ``loose_factor`` (multiples of the dense latency) with the
+    instantaneous normalized bandwidth, so the adapter rides up and down
+    the sparsity ladder as the link degrades and recovers.
+    """
+    cfg = cfg or ScenarioConfig()
+    latency = latency or LatencyModel()
+    rng = np.random.default_rng(cfg.seed)
+    level = DVFSTable()["l6"]
+    dense = _dense_latency(workload, level, latency)
+    gap = 1.0 / rate_rps
+    out: List[InferenceRequest] = []
+    t = 0.0
+    for i in range(cfg.num_requests):
+        t += gap * float(rng.uniform(0.7, 1.3))
+        # relative bandwidth in [1 - amplitude, 1 + amplitude], noisy
+        bw = (1.0 + amplitude * np.sin(2.0 * np.pi * t / period_s)) * float(
+            np.exp(noise * rng.normal()))
+        norm = float(np.clip((bw - (1.0 - amplitude)) / (2.0 * amplitude), 0.0, 1.0))
+        deadline = (tight_factor + (loose_factor - tight_factor) * norm) * dense
+        length = int(rng.integers(max(2, cfg.seq_len - 3), cfg.seq_len + 1))
+        out.append(InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
+                                    arrival_s=t, deadline_s=deadline,
+                                    level_name=level.name,
+                                    slo_s=deadline + slo_margin_s))
+    return out
+
+
 SCENARIOS: Dict[str, Callable[..., List[InferenceRequest]]] = {
     "steady": steady_translation,
     "bursty": bursty_interactive,
     "battery": battery_drain_longtail,
+    "bandwidth": bandwidth_fluctuation,
 }
 
 

@@ -1,0 +1,165 @@
+"""Simulated multi-device sharding: device shards, queues, dispatch policies.
+
+The serving engine scales out by routing micro-batches across ``N``
+simulated devices.  Each :class:`DeviceShard` owns
+
+- its own simulated clock and busy-time accounting,
+- *per-V/F-level FIFO queues*: a batch is enqueued under the V/F level in
+  force when its requests arrived, so traffic at different operating
+  points never interleaves inside one queue (and a future drain policy
+  can serve a whole level run-to-run to amortize reconfiguration), and
+- its own installed-pattern state (``active_sparsity``): pattern-set
+  switches are a *per-device* cost, so each shard pays for its own swaps
+  independently of what its neighbours have installed.
+
+Routing is a two-phase simulation: the :class:`Dispatcher` first assigns
+every micro-batch to a shard (``round-robin`` or ``least-loaded``), then
+each shard drains its queues on its own timeline.  Draining follows the
+global flush order (the per-level queues are FIFO and the shard always
+serves the queue whose head was flushed earliest), so a one-shard engine
+reproduces the serial engine's schedule exactly — the property the
+time-slicing exactness tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Sequence
+
+from repro.serve.batcher import InferenceRequest
+
+POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass
+class QueuedBatch:
+    """One routed micro-batch: the unit the dispatcher moves around."""
+
+    seq: int  # global flush order; becomes the report's batch_id
+    requests: List[InferenceRequest]
+    level_name: str
+    ready_s: float  # earliest dispatch time (full batch / window rule)
+    est_service_s: float  # analytic service estimate used for routing
+    # feasible sparsity resolved at routing time (None = infeasible);
+    # carried so the drain phase never repeats the ladder walk
+    sparsity: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class ShardStats:
+    """Per-device digest of one serving run."""
+
+    shard_id: int
+    requests: int = 0
+    batches: int = 0
+    busy_s: float = 0.0
+    last_completion_s: float = 0.0
+    switches: int = 0
+
+    @property
+    def service_throughput_rps(self) -> float:
+        """Requests/second while the device is actually busy."""
+        return self.requests / self.busy_s if self.busy_s > 0 else 0.0
+
+    def utilization(self, makespan_s: float) -> float:
+        return self.busy_s / makespan_s if makespan_s > 0 else 0.0
+
+    def as_dict(self, makespan_s: float = 0.0) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "requests": self.requests,
+            "batches": self.batches,
+            "busy_s": self.busy_s,
+            "last_completion_s": self.last_completion_s,
+            "switches": self.switches,
+            "service_throughput_rps": self.service_throughput_rps,
+            "utilization": self.utilization(makespan_s),
+        }
+
+
+class DeviceShard:
+    """One simulated device: per-V/F-level queues plus its own timeline.
+
+    ``enqueue`` files a batch under its V/F level; ``drain`` yields the
+    queued batches in global flush order (min ``seq`` across queue heads —
+    each per-level queue is FIFO, so this is a stable merge).  The shard's
+    installed-pattern state (``active_sparsity``) is updated by the engine
+    as it executes, because a pattern swap happens on *this* device no
+    matter what the other shards run.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.queues: Dict[str, Deque[QueuedBatch]] = {}
+        self.clock_s = 0.0
+        self.pending_s = 0.0  # estimated backlog, maintained by routing/drain
+        self.active_sparsity: Optional[float] = None
+        self.stats = ShardStats(shard_id)
+
+    # -- queueing ------------------------------------------------------
+    def enqueue(self, batch: QueuedBatch) -> None:
+        self.queues.setdefault(batch.level_name, deque()).append(batch)
+        self.pending_s += batch.est_service_s
+
+    def backlog(self) -> int:
+        """Number of queued, not-yet-executed batches."""
+        return sum(len(q) for q in self.queues.values())
+
+    def drain(self) -> Iterator[QueuedBatch]:
+        """Yield queued batches in global flush order across level queues."""
+        while True:
+            heads = [(q[0].seq, name) for name, q in self.queues.items() if q]
+            if not heads:
+                return
+            _, level_name = min(heads)
+            batch = self.queues[level_name].popleft()
+            self.pending_s = max(0.0, self.pending_s - batch.est_service_s)
+            yield batch
+
+    # -- execution accounting (called by the engine) -------------------
+    def record(self, batch: QueuedBatch, service_s: float, completion_s: float,
+               switched: bool) -> None:
+        self.clock_s = completion_s
+        self.stats.requests += len(batch)
+        self.stats.batches += 1
+        self.stats.busy_s += service_s
+        self.stats.last_completion_s = completion_s
+        if switched:
+            self.stats.switches += 1
+
+
+@dataclass
+class Dispatcher:
+    """Routes micro-batches to shards.
+
+    - ``round-robin``   — batch ``seq`` goes to shard ``seq % N``; ignores
+      load, so heterogeneous batch costs can pile onto one device.
+    - ``least-loaded``  — the shard with the smallest estimated backlog
+      (sum of the analytic service estimates of the batches already
+      assigned to it); ties break toward the lowest shard id, keeping the
+      assignment deterministic.
+    """
+
+    policy: str = "round-robin"
+    routed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {self.policy!r}; options: {list(POLICIES)}")
+
+    def route(self, batch: QueuedBatch, shards: Sequence[DeviceShard]) -> DeviceShard:
+        """Pick a shard for ``batch`` and enqueue it there."""
+        if not shards:
+            raise ValueError("cannot route without shards")
+        if self.policy == "round-robin":
+            shard = shards[self.routed % len(shards)]
+        else:  # least-loaded
+            shard = min(shards, key=lambda s: (s.pending_s, s.shard_id))
+        shard.enqueue(batch)
+        self.routed += 1
+        return shard

@@ -38,6 +38,10 @@ class StackConfig:
     use_cache: bool = True
     cache_capacity: int = 512
     verify: bool = False
+    devices: int = 1
+    policy: str = "round-robin"
+    time_sliced: bool = True
+    prewarm: bool = False
 
 
 def build_serving_stack(cfg: Optional[StackConfig] = None
@@ -56,5 +60,7 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                              hardware_pattern_size=cfg.pattern_size)
     cache = ArtifactCache(capacity=cfg.cache_capacity) if cfg.use_cache else None
     engine = ServeEngine(model, adapter, max_batch=cfg.max_batch,
-                         window_s=cfg.window_s, cache=cache, verify=cfg.verify)
+                         window_s=cfg.window_s, cache=cache, verify=cfg.verify,
+                         devices=cfg.devices, policy=cfg.policy,
+                         time_sliced=cfg.time_sliced, prewarm=cfg.prewarm)
     return model, workload, engine

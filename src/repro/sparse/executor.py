@@ -16,7 +16,6 @@ validation the paper delegates to the PatDNN compiler's predictor.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -101,22 +100,22 @@ class SparseExecutor:
         self._rng = np.random.default_rng(seed)
         # Optional repro.serve.cache.ArtifactCache: memoizes the
         # dense->sparse conversion, which dominates repeated audits of an
-        # unchanged operating point.  Keyed by a content hash of the
-        # effective weight, so weight/mask changes miss naturally.
+        # unchanged operating point.  Keyed by the layer's O(1)
+        # ``cache_token`` (unique layer id + weight/mask update counters),
+        # so weight or mask changes miss naturally without paying to hash
+        # the weight bytes — SHA-1 hashing dominated small-layer lookups.
         self.cache = cache
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _weight_digest(w: np.ndarray) -> str:
-        return hashlib.sha1(np.ascontiguousarray(w).tobytes()).hexdigest()[:16]
-
-    def _convert(self, name: str, w: np.ndarray):
+    def _convert(self, name: str, w: np.ndarray, token: str):
         """Dense -> self.fmt conversion, via the artifact cache when present.
 
-        The cache key covers everything the payload depends on: weight
-        content plus the format's own configuration (block count, the
-        pattern set) so executors with different settings can share one
-        cache without serving each other stale conversions.
+        The cache key covers everything the payload depends on: the
+        effective weight's identity (``token``, the owning layer's O(1)
+        version counter — see :attr:`repro.nn.layers.Linear.cache_token`)
+        plus the format's own configuration (block count, the pattern
+        set) so executors with different settings can share one cache
+        without serving each other stale conversions.
         """
         if self.fmt == "coo":
             config = ""
@@ -135,22 +134,23 @@ class SparseExecutor:
                 return packed, masked
         if self.cache is None:
             return compute()
-        return self.cache.get_format(name, self._weight_digest(w), self.fmt,
-                                     compute, config=config)
+        return self.cache.get_format(name, token, self.fmt, compute,
+                                     config=config)
 
     def audit_layer(self, name: str, layer: Linear) -> LayerAudit:
         w = layer.weight.data * (layer.mask if layer.mask is not None else 1.0)
+        token = layer.cache_token
         x = self._rng.normal(size=(w.shape[1], self.batch))
         expected, _ = dense_matmul(w, x)
 
         if self.fmt == "dense":
             got, counter = dense_matmul(w, x)
         elif self.fmt == "coo":
-            got, counter = coo_matmul(self._convert(name, w), x)
+            got, counter = coo_matmul(self._convert(name, w, token), x)
         elif self.fmt == "block":
-            got, counter = block_matmul(self._convert(name, w), x)
+            got, counter = block_matmul(self._convert(name, w, token), x)
         else:  # pattern
-            packed, masked = self._convert(name, w)
+            packed, masked = self._convert(name, w, token)
             got, counter = pattern_matmul(packed, x)
             expected, _ = dense_matmul(w * masked, x)
 

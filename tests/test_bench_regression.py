@@ -1,0 +1,122 @@
+"""Unit tests for the CI bench-regression gate's comparison logic."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
+          / "scripts" / "check_bench_regression.py")
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def digest(sim_rps=4000.0, p95=6.0, sharded_rps=5000.0, sharded_p95=5.0,
+           err=0.0):
+    return {
+        "requests": 96,
+        "batch_size": 8,
+        "sim_throughput_rps": sim_rps,
+        "p95_latency_ms": p95,
+        "baseline_throughput_rps": 500.0,
+        "batched_throughput_rps": 3500.0,
+        "speedup": 7.0,
+        "max_batch_vs_single_error": err,
+        "max_cross_engine_error": err,
+        "sharded": {
+            "devices": 4,
+            "policy": "least-loaded",
+            "sim_rps_sharded": sharded_rps,
+            "p95_latency_ms": sharded_p95,
+            "scaling": 2.8,
+            "max_verify_error": err,
+        },
+    }
+
+
+def verdicts(findings):
+    return {f["metric"]: f["ok"] for f in findings if f["gated"]}
+
+
+class TestCompare:
+    def test_identical_digests_pass(self):
+        findings = gate.compare(digest(), digest())
+        assert all(verdicts(findings).values())
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        findings = gate.compare(digest(), digest(sim_rps=4000.0 * 0.80))
+        assert verdicts(findings)["sim_throughput_rps"] is False
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        findings = gate.compare(digest(), digest(sim_rps=4000.0 * 0.90))
+        assert verdicts(findings)["sim_throughput_rps"] is True
+
+    def test_p95_rise_beyond_tolerance_fails(self):
+        findings = gate.compare(digest(), digest(p95=6.0 * 1.25))
+        assert verdicts(findings)["p95_latency_ms"] is False
+
+    def test_sharded_metrics_gated_too(self):
+        findings = gate.compare(
+            digest(), digest(sharded_rps=5000.0 * 0.5, sharded_p95=5.0 * 2))
+        got = verdicts(findings)
+        assert got["sharded.sim_rps_sharded"] is False
+        assert got["sharded.p95_latency_ms"] is False
+
+    def test_exactness_always_gated(self):
+        findings = gate.compare(digest(), digest(err=1e-6))
+        got = verdicts(findings)
+        assert got["max_batch_vs_single_error"] is False
+        assert got["sharded.max_verify_error"] is False
+
+    def test_custom_thresholds(self):
+        fresh = digest(sim_rps=4000.0 * 0.90)
+        strict = gate.compare(digest(), fresh, max_throughput_drop=0.05)
+        assert verdicts(strict)["sim_throughput_rps"] is False
+
+    def test_metric_missing_from_baseline_is_skipped(self):
+        base = digest()
+        del base["sharded"]
+        findings = gate.compare(base, digest())
+        got = {f["metric"]: f for f in findings}
+        assert got["sharded.sim_rps_sharded"]["ok"] is True
+        assert "absent from baseline" in got["sharded.sim_rps_sharded"]["note"]
+
+    def test_metric_missing_from_fresh_run_fails(self):
+        fresh = digest()
+        del fresh["sim_throughput_rps"]
+        findings = gate.compare(digest(), fresh)
+        assert verdicts(findings)["sim_throughput_rps"] is False
+
+    def test_wall_clock_metrics_never_gated(self):
+        fresh = digest()
+        fresh["batched_throughput_rps"] = 1.0  # collapses, but runner-dependent
+        fresh["speedup"] = 0.01
+        findings = gate.compare(digest(), fresh)
+        assert all(verdicts(findings).values())
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert {"speedup", "batched_throughput_rps"} <= info
+
+
+class TestRender:
+    def test_render_marks_failures(self):
+        findings = gate.compare(digest(), digest(sim_rps=1000.0))
+        table = gate.render(findings)
+        assert "FAIL" in table and "info" in table
+
+
+class TestMainEntry:
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        code = gate.main(["--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no committed baseline" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_end_to_end_pass_and_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        fresh = tmp_path / "fresh.json"
+        code = gate.main(["--output", str(out), "--fresh-output", str(fresh)])
+        assert code == 0
+        assert out.exists()
+        assert fresh.exists()  # no hidden write into the repo tree
+        assert "no bench regression detected" in capsys.readouterr().out

@@ -260,8 +260,27 @@ class TestExecutorCache:
         executor.audit(model)
         name, layer = next(iter(MaskManager(model).layers.items()))
         layer.weight.data[:] = rng.normal(size=layer.weight.shape)
-        executor.audit(model)  # content-hash key: changed layer misses
+        # version-counter keys: raw in-place writes must declare themselves
+        # (optimizers and load_state_dict do this automatically)
+        layer.weight.bump_version()
+        executor.audit(model)  # bumped version: changed layer misses
         assert cache.stats.misses > len(executor.audit(model).layers)
+
+    def test_mask_change_misses_naturally(self, model, rng):
+        # set_mask bumps the layer's mask version, so a swapped pattern set
+        # can never be served a stale conversion
+        set_a = random_pattern_set(4, 0.3, 2, rng)
+        cache = ArtifactCache(capacity=256)
+        executor = SparseExecutor("coo", pattern_set=set_a, cache=cache)
+        manager = MaskManager(model)
+        manager.apply(set_a)
+        first = executor.audit(model)
+        manager.apply(random_pattern_set(4, 0.9, 2, rng))
+        second = executor.audit(model)  # every layer misses, none stale
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2 * len(first.layers)
+        assert second.all_correct
+        assert second.total.macs < first.total.macs
 
     def test_shared_cache_distinguishes_pattern_sets(self, model, rng):
         # same weights, different pattern sets: payloads must not collide
