@@ -1,30 +1,36 @@
 #!/usr/bin/env python
-"""CI bench-regression gate for the serving bench.
+"""CI multi-bench regression gate (serving bench + kernel microbench).
 
-Loads the committed ``benchmarks/results/BENCH_serve.json`` baseline
-*before* anything can overwrite it, re-runs the serving bench at the
-baseline's own configuration (requests/batch/devices/policy), and fails
-when the fresh run regresses:
+For every registered bench the gate loads the committed baseline digest
+*before* anything can overwrite it, re-runs the bench at the baseline's
+own configuration, and fails when the fresh run regresses.  Per-bench
+rules:
 
-- simulated throughput drops more than ``--max-throughput-drop``
-  (default 15%) — both the batched steady path and the sharded bursty
-  path are gated;
-- simulated p95 latency rises more than ``--max-p95-increase``
-  (default 20%);
-- batched/sharded outputs deviate from per-request outputs (exactness
-  is gated unconditionally at 1e-9).
+``serve`` (``benchmarks/results/BENCH_serve.json``)
+    - simulated throughput drops more than ``--max-throughput-drop``
+      (default 15%) — both the batched steady path and the sharded
+      bursty path are gated;
+    - simulated p95 latency rises more than ``--max-p95-increase``
+      (default 20%);
+    - batched/sharded outputs deviate from per-request outputs
+      (exactness is gated unconditionally at 1e-9).
 
-Only *simulated* metrics are gated: they are deterministic functions of
-the analytic latency model and the seeded traffic, so any drift is a
-real behavioural change.  Wall-clock throughput and the batched speedup
-are recorded in the report but never gated — they measure the CI
-runner, not the code.
+``kernels`` (``benchmarks/results/BENCH_kernels.json``)
+    - any kernel deviates from the dense reference (or the grouped
+      pattern kernel from its loop oracle) beyond 1e-9;
+    - any deterministic op counter (macs / index / weighted) drifts from
+      the committed baseline at all — op counts are exact functions of
+      the cost model, so any change is a real behavioural change;
+    - the grouped pattern kernel's speedup over the loop reference falls
+      below the bench's own floor (a same-machine, same-process ratio —
+      the one wall-clock number stable enough to gate).
 
-The comparison report lands in
+Only *deterministic* metrics are gated; absolute wall-clock numbers are
+recorded in the report but never gated — they measure the CI runner, not
+the code.  The shared comparison report lands in
 ``benchmarks/results/bench_regression_report.json`` (uploaded as a CI
-artifact next to the fresh ``BENCH_serve.json``).  After an intentional
-performance change, regenerate and commit the baseline with
-``--update-baseline``.
+artifact next to the fresh digests).  After an intentional performance
+change, regenerate and commit the baselines with ``--update-baseline``.
 """
 
 from __future__ import annotations
@@ -33,16 +39,11 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_serve.json"
-DEFAULT_REPORT = REPO_ROOT / "benchmarks" / "results" / "bench_regression_report.json"
-# the fresh full-config digest, written next to the report so the CI
-# artifact always carries a digest directly comparable to (and, after an
-# intentional perf change, committable as) the baseline — unlike the
-# 48-request BENCH_serve.json the later smoke step leaves behind
-DEFAULT_FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_serve.fresh.json"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+DEFAULT_REPORT = RESULTS / "bench_regression_report.json"
 
 # gated (metric path, kind); "higher" metrics fail on drops, "lower" on rises
 GATED_METRICS = (
@@ -65,6 +66,9 @@ EXACTNESS_METRICS = (
 )
 EXACTNESS_TOL = 1e-9
 
+# deterministic per-kernel counters gated by exact equality
+COUNTER_FIELDS = ("macs", "index_ops", "overhead_ops", "weighted_total")
+
 
 def _lookup(digest: dict, path: str) -> Optional[float]:
     node = digest
@@ -75,11 +79,14 @@ def _lookup(digest: dict, path: str) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+# ---------------------------------------------------------------------------
+# serve bench comparison (pure, unit-tested without running the bench)
+# ---------------------------------------------------------------------------
+
 def compare(baseline: dict, fresh: dict, *, max_throughput_drop: float = 0.15,
             max_p95_increase: float = 0.20) -> List[dict]:
-    """Diff two bench digests; returns one finding per checked metric.
+    """Diff two serving-bench digests; one finding per checked metric.
 
-    Pure so the gate logic is unit-testable without running the bench.
     A metric missing from the *baseline* passes with a note (older
     baselines predate it); missing from the *fresh* run fails (the bench
     stopped reporting a gated number).
@@ -119,10 +126,88 @@ def compare(baseline: dict, fresh: dict, *, max_throughput_drop: float = 0.15,
     return findings
 
 
-def run_fresh(baseline: dict) -> dict:
-    """Re-run the serving bench at the committed baseline's configuration."""
+# ---------------------------------------------------------------------------
+# kernels bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+def compare_kernels(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two kernel-bench digests; one finding per checked metric.
+
+    Coverage is anchored on the *baseline*: a case or kernel present in
+    the committed digest but absent from the fresh run fails (the bench
+    silently dropping a gated surface must not pass the gate).
+    """
+    findings: List[dict] = []
+    for name, base_case in baseline.get("cases", {}).items():
+        fresh_case = fresh.get("cases", {}).get(name, {})
+        for missing_kind, fresh_section in (
+                ("max_abs_err", fresh_case.get("max_abs_err", {})),
+                ("op_counters", fresh_case.get("op_counters", {}))):
+            for fmt in base_case.get(missing_kind, {}):
+                if fmt not in fresh_section:
+                    findings.append({
+                        "metric": f"cases.{name}.{missing_kind}.{fmt}",
+                        "baseline": None, "fresh": None, "gated": True,
+                        "ok": False,
+                        "note": "gated surface missing from fresh run"})
+    for name, case in fresh.get("cases", {}).items():
+        for fmt, err in case.get("max_abs_err", {}).items():
+            findings.append({
+                "metric": f"cases.{name}.max_abs_err.{fmt}",
+                "baseline": EXACTNESS_TOL, "fresh": err, "gated": True,
+                "ok": err is not None and err < EXACTNESS_TOL,
+                "note": f"kernel outputs must agree to {EXACTNESS_TOL:.0e}"})
+        for fmt, counter in case.get("op_counters", {}).items():
+            for fld in COUNTER_FIELDS:
+                path = f"cases.{name}.op_counters.{fmt}.{fld}"
+                base, new = _lookup(baseline, path), _lookup(fresh, path)
+                finding = {"metric": path, "baseline": base, "fresh": new,
+                           "gated": True}
+                if base is None:
+                    finding.update(ok=True,
+                                   note="metric absent from baseline; skipped")
+                elif new is None:
+                    finding.update(ok=False,
+                                   note="metric missing from fresh run")
+                else:
+                    finding.update(
+                        ok=new == base,
+                        note="deterministic op count: must match baseline "
+                             "exactly")
+                findings.append(finding)
+        findings.append({
+            "metric": f"cases.{name}.wall_ms.pattern",
+            "baseline": _lookup(baseline, f"cases.{name}.wall_ms.pattern"),
+            "fresh": _lookup(fresh, f"cases.{name}.wall_ms.pattern"),
+            "gated": False, "ok": True,
+            "note": "informational (wall-clock / runner-dependent)"})
+    acc = fresh.get("acceptance", {})
+    speedup = acc.get("speedup")
+    # the committed baseline's floor is authoritative: a PR cannot lower
+    # the gate by editing the bench's own threshold constant
+    floor = baseline.get("acceptance", {}).get("min_speedup",
+                                               acc.get("min_speedup"))
+    findings.append({
+        "metric": "acceptance.speedup", "baseline": floor, "fresh": speedup,
+        "gated": True,
+        "ok": speedup is not None and floor is not None and speedup >= floor,
+        "note": f"grouped pattern kernel must stay >= {floor}x over the "
+                "loop reference (same-machine ratio)"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# fresh runs at the committed configuration
+# ---------------------------------------------------------------------------
+
+def _import_benchmarks():
     sys.path.insert(0, str(REPO_ROOT))
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def run_fresh_serve(baseline: dict) -> dict:
+    """Re-run the serving bench at the committed baseline's configuration."""
+    _import_benchmarks()
     from benchmarks.bench_serve import run_comparison
 
     sharded = baseline.get("sharded", {})
@@ -134,67 +219,138 @@ def run_fresh(baseline: dict) -> dict:
         policy=str(sharded.get("policy", "least-loaded")))
 
 
-def render(findings: List[dict]) -> str:
-    rows = [f"{'metric':<32} {'baseline':>12} {'fresh':>12}  verdict",
-            "-" * 72]
+def run_fresh_kernels(baseline: dict) -> dict:
+    """Re-run the kernel microbench at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_kernels import run_bench
+
+    return run_bench(smoke=bool(baseline.get("smoke", False)),
+                     seed=int(baseline.get("seed", 0)),
+                     repeats=int(baseline.get("repeats", 5)))
+
+
+class BenchSpec:
+    """One registered bench: its baseline file, runner and comparator."""
+
+    def __init__(self, name: str, baseline_path: pathlib.Path,
+                 fresh_path: pathlib.Path,
+                 run: Callable[[dict], dict],
+                 comparator: Callable[..., List[dict]]) -> None:
+        self.name = name
+        self.baseline_path = baseline_path
+        self.fresh_path = fresh_path
+        self.run = run
+        self.comparator = comparator
+
+
+BENCHES: Dict[str, BenchSpec] = {
+    "serve": BenchSpec("serve", RESULTS / "BENCH_serve.json",
+                       RESULTS / "BENCH_serve.fresh.json",
+                       run_fresh_serve, compare),
+    "kernels": BenchSpec("kernels", RESULTS / "BENCH_kernels.json",
+                         RESULTS / "BENCH_kernels.fresh.json",
+                         run_fresh_kernels, compare_kernels),
+}
+
+
+def render(findings: List[dict], title: str = "") -> str:
+    rows = []
+    if title:
+        rows.append(f"== {title} ==")
+    rows += [f"{'metric':<48} {'baseline':>12} {'fresh':>12}  verdict",
+             "-" * 88]
     for f in findings:
         base = "-" if f["baseline"] is None else f"{f['baseline']:.4g}"
         new = "-" if f["fresh"] is None else f"{f['fresh']:.4g}"
         verdict = ("PASS" if f["ok"] else "FAIL") if f["gated"] else "info"
-        rows.append(f"{f['metric']:<32} {base:>12} {new:>12}  {verdict}")
+        rows.append(f"{f['metric']:<48} {base:>12} {new:>12}  {verdict}")
     return "\n".join(rows)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
-                        help="committed bench digest to regress against")
+    parser.add_argument("--bench", default="all",
+                        choices=["all", *BENCHES],
+                        help="which bench(es) to gate")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="override the serve baseline digest path")
+    parser.add_argument("--kernels-baseline", type=pathlib.Path, default=None,
+                        help="override the kernels baseline digest path")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_REPORT,
-                        help="where to write the comparison report JSON")
-    parser.add_argument("--fresh-output", type=pathlib.Path, default=DEFAULT_FRESH,
-                        help="where to write the fresh full-config digest "
+                        help="where to write the shared comparison report")
+    parser.add_argument("--fresh-output", type=pathlib.Path, default=None,
+                        help="override the serve fresh-digest path "
                              "(committable as a new baseline)")
+    parser.add_argument("--kernels-fresh-output", type=pathlib.Path,
+                        default=None,
+                        help="override the kernels fresh-digest path")
     parser.add_argument("--max-throughput-drop", type=float, default=0.15,
-                        help="allowed fractional drop in simulated throughput")
+                        help="serve: allowed fractional sim-throughput drop")
     parser.add_argument("--max-p95-increase", type=float, default=0.20,
-                        help="allowed fractional rise in simulated p95 latency")
+                        help="serve: allowed fractional sim-p95 rise")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="overwrite the baseline with the fresh digest "
-                             "instead of gating (commit the result)")
+                        help="overwrite the selected baselines with the "
+                             "fresh digests instead of gating (commit them)")
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
-        print(f"error: no committed baseline at {args.baseline}", file=sys.stderr)
-        return 2
-    # read the baseline before the bench overwrites BENCH_serve.json in place
-    baseline = json.loads(args.baseline.read_text())
-    fresh = run_fresh(baseline)
-    args.fresh_output.parent.mkdir(parents=True, exist_ok=True)
-    args.fresh_output.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+    overrides = {
+        "serve": (args.baseline, args.fresh_output),
+        "kernels": (args.kernels_baseline, args.kernels_fresh_output),
+    }
+    selected = list(BENCHES) if args.bench == "all" else [args.bench]
+
+    report: dict = {"ok": True, "benches": {}}
+    total_failures = 0
+    for name in selected:
+        spec = BENCHES[name]
+        baseline_path, fresh_path = overrides[name]
+        baseline_path = baseline_path or spec.baseline_path
+        fresh_path = fresh_path or spec.fresh_path
+        if not baseline_path.exists():
+            print(f"error: no committed baseline at {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        # read the baseline before the bench overwrites the digest in place
+        baseline = json.loads(baseline_path.read_text())
+        fresh = spec.run(baseline)
+        fresh_path.parent.mkdir(parents=True, exist_ok=True)
+        fresh_path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+
+        if args.update_baseline:
+            baseline_path.write_text(
+                json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+            print(f"[{name}] baseline updated -> {baseline_path}")
+            continue
+
+        if name == "serve":
+            findings = spec.comparator(
+                baseline, fresh,
+                max_throughput_drop=args.max_throughput_drop,
+                max_p95_increase=args.max_p95_increase)
+        else:
+            findings = spec.comparator(baseline, fresh)
+        failures = [f for f in findings if f["gated"] and not f["ok"]]
+        total_failures += len(failures)
+        report["benches"][name] = {
+            "ok": not failures,
+            "baseline_path": str(baseline_path),
+            "findings": findings,
+        }
+        report["ok"] = report["ok"] and not failures
+        print(render(findings, title=name))
+        print()
 
     if args.update_baseline:
-        args.baseline.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
-        print(f"baseline updated -> {args.baseline}")
         return 0
 
-    findings = compare(baseline, fresh,
-                       max_throughput_drop=args.max_throughput_drop,
-                       max_p95_increase=args.max_p95_increase)
-    failures = [f for f in findings if f["gated"] and not f["ok"]]
-    report = {
-        "ok": not failures,
-        "baseline_path": str(args.baseline),
-        "max_throughput_drop": args.max_throughput_drop,
-        "max_p95_increase": args.max_p95_increase,
-        "findings": findings,
-    }
+    report["max_throughput_drop"] = args.max_throughput_drop
+    report["max_p95_increase"] = args.max_p95_increase
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
-    print(render(findings))
-    print(f"\nreport -> {args.output}")
-    if failures:
-        print(f"\nbench regression: {len(failures)} gated metric(s) failed "
+    print(f"report -> {args.output}")
+    if total_failures:
+        print(f"\nbench regression: {total_failures} gated metric(s) failed "
               "(if intentional, rerun with --update-baseline and commit)")
         return 1
     print("\nno bench regression detected")

@@ -196,9 +196,11 @@ def cmd_serve(args) -> int:
         dim=args.dim, vocab_size=args.vocab_size, seq_len=args.seq_len,
         max_len=args.max_len, pattern_size=args.pattern_size, seed=args.seed,
         max_batch=args.batch_size, window_s=args.window_ms / 1e3,
-        use_cache=not args.no_cache, cache_capacity=args.cache_capacity,
+        use_cache=not args.no_cache,
+        cache_budget_bytes=int(args.cache_budget_kb * 1024),
         verify=args.verify, devices=args.devices, policy=args.policy,
-        time_sliced=not args.no_time_slice))
+        time_sliced=not args.no_time_slice, drain_policy=args.drain_policy,
+        fairness_window=args.fairness_window))
     trace = build_scenario(args.scenario, workload, ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
         seq_len=args.seq_len, max_len=args.max_len, seed=args.seed))
@@ -267,8 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--devices", type=int, default=1,
                          help="number of simulated device shards")
     p_serve.add_argument("--policy", default="round-robin",
-                         choices=["round-robin", "least-loaded"],
-                         help="batch dispatch policy across shards")
+                         choices=["round-robin", "least-loaded", "switch-aware"],
+                         help="batch dispatch policy across shards "
+                              "(switch-aware charges a placement for the "
+                              "pattern swap it would trigger)")
+    p_serve.add_argument("--drain-policy", default="fifo",
+                         choices=["fifo", "level-affinity"],
+                         help="per-shard queue drain order: global flush "
+                              "order, or one V/F level run-to-run")
+    p_serve.add_argument("--fairness-window", type=int, default=4,
+                         help="level-affinity: max consecutive batches from "
+                              "one level while another level waits")
     p_serve.add_argument("--no-time-slice", action="store_true",
                          help="charge every batch member the full batch "
                               "service time (pre-sharding completion model)")
@@ -279,7 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seq-len", type=int, default=12)
     p_serve.add_argument("--max-len", type=int, default=16)
     p_serve.add_argument("--pattern-size", type=int, default=8)
-    p_serve.add_argument("--cache-capacity", type=int, default=512)
+    p_serve.add_argument("--cache-budget-kb", type=float, default=8192.0,
+                         help="artifact-cache byte budget (size-aware LRU)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the mask/format artifact cache")
     p_serve.add_argument("--verify", action="store_true",

@@ -29,6 +29,46 @@ from repro.nn.layers import Linear, prunable_linears
 from repro.nn.module import Module
 
 
+class PackedMask:
+    """A 0/1 mask stored bit-packed: one *bit* per position.
+
+    The storage form the paper's memory argument assumes — a pattern mask
+    costs ``size/8`` bytes, not ``size`` floats.  ``np.packbits`` on
+    construction, ``unpack()`` back to the float 0/1 array; the round trip
+    is exact (masks are binary), so packed artifacts in the
+    :class:`~repro.serve.cache.ArtifactCache` reproduce the original mask
+    bit for bit while the cache's byte budget sees the honest footprint.
+    """
+
+    __slots__ = ("bits", "shape")
+
+    def __init__(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask)
+        self.shape: Tuple[int, ...] = tuple(mask.shape)
+        self.bits = np.packbits((mask != 0).ravel())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.bits.nbytes)
+
+    def count(self) -> int:
+        """Number of kept (one) positions."""
+        n = int(np.prod(self.shape)) if self.shape else 0
+        return int(np.unpackbits(self.bits, count=n).sum())
+
+    def unpack(self) -> np.ndarray:
+        n = int(np.prod(self.shape)) if self.shape else 0
+        flat = np.unpackbits(self.bits, count=n)
+        return flat.reshape(self.shape).astype(np.float64)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, PackedMask) and self.shape == other.shape
+                and np.array_equal(self.bits, other.bits))
+
+    def __repr__(self) -> str:
+        return f"PackedMask(shape={self.shape}, nbytes={self.nbytes})"
+
+
 class Pattern:
     """An immutable ``psize x psize`` binary mask."""
 
@@ -261,7 +301,14 @@ class MaskManager:
         return self.cache.invalidate(owner=self._cache_owner)
 
     def apply(self, pattern_set: Optional[PatternSet]) -> None:
-        """Install combined masks for ``pattern_set`` (None = backbone only)."""
+        """Install combined masks for ``pattern_set`` (None = backbone only).
+
+        Cached mask artifacts are stored *bit-packed*
+        (:class:`PackedMask`): one bit per position instead of one float,
+        so the artifact cache's byte budget models the kilobytes a pattern
+        switch actually moves.  Unpacking is exact — the installed masks
+        are identical with and without the cache.
+        """
         self.active_set = pattern_set
         self._pattern_ids.clear()
         set_digest = pattern_set.digest() if pattern_set is not None else ""
@@ -271,11 +318,13 @@ class MaskManager:
                 layer.set_mask(bp.copy())
                 continue
             if self.cache is not None:
-                pp_mask, ids = self.cache.get_mask(
-                    name, set_digest,
-                    lambda: pattern_mask_for_matrix(layer.weight.data * bp, pattern_set),
-                    owner=self._cache_owner,
-                )
+                def compute():
+                    mask, ids = pattern_mask_for_matrix(
+                        layer.weight.data * bp, pattern_set)
+                    return PackedMask(mask), ids
+                packed, ids = self.cache.get_mask(
+                    name, set_digest, compute, owner=self._cache_owner)
+                pp_mask = packed.unpack()
             else:
                 pp_mask, ids = pattern_mask_for_matrix(layer.weight.data * bp, pattern_set)
             layer.set_mask(bp * pp_mask)

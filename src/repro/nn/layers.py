@@ -61,6 +61,14 @@ class Linear(Module):
             mask = np.asarray(mask, dtype=np.float64)
             if mask.shape != self.weight.shape:
                 raise ValueError(f"mask shape {mask.shape} != weight shape {self.weight.shape}")
+            # content-addressed fast path: re-installing a mask identical
+            # to the resident one changes nothing, so keep the cache token
+            # stable — downstream format conversions stay hits instead of
+            # paying a token-bump miss on every re-install
+            if self.mask is not None and np.array_equal(mask, self.mask):
+                return
+        elif self.mask is None:
+            return
         self.mask = mask
         self._mask_version += 1
 
@@ -73,9 +81,10 @@ class Linear(Module):
         counter — everything ``weight * mask`` depends on — so caches can
         key on this token instead of hashing the weight bytes, which
         dominated small-layer lookups (ROADMAP open item).  Two tokens are
-        equal iff they describe the same layer with no intervening weight
-        or mask update; unlike a content hash, re-installing an identical
-        mask yields a fresh token (a miss, never a stale hit).
+        equal iff they describe the same layer with no *effective* weight
+        or mask change: ``set_mask`` content-compares against the resident
+        mask and keeps the token stable when an identical mask is
+        re-installed, so mask churn that changes nothing stays a cache hit.
         """
         return f"u{self._uid}.w{self.weight.version}.m{self._mask_version}"
 

@@ -12,9 +12,14 @@ Layout
 - :mod:`~repro.serve.batcher`   — requests, padding-exact vectorized
   forwards, the compatibility-keyed micro-batcher;
 - :mod:`~repro.serve.sharding`  — :class:`DeviceShard` (per-V/F-level
-  FIFO queues, per-device clock and installed-pattern state) and the
-  :class:`Dispatcher` routing policies ``round-robin`` /
-  ``least-loaded`` (smallest estimated backlog wins);
+  FIFO queues, per-device clock and installed-pattern state; drain
+  policies ``fifo`` — global flush order — and ``level-affinity`` —
+  serve one V/F level run-to-run, bounded by a fairness window, so the
+  level's pattern set stays resident) and the :class:`Dispatcher`
+  routing policies ``round-robin`` / ``least-loaded`` / ``switch-aware``
+  (least-loaded plus the simulated cost of the pattern swap a placement
+  would trigger, so batches gravitate to devices already holding their
+  pattern set);
 - :mod:`~repro.serve.engine`    — the sharded :class:`ServeEngine` with
   the *time-sliced* completion model: each request finishes at its own
   offset inside the batch (overhead + its share of MAC work) instead of
@@ -24,20 +29,29 @@ Layout
   / ``bandwidth`` traffic generators; ``bandwidth`` is the paper's
   translation example, a fluctuating network-bandwidth trace driving
   per-request deadline jitter;
-- :mod:`~repro.serve.cache`     — the LRU :class:`ArtifactCache`.
+- :mod:`~repro.serve.cache`     — the byte-budgeted LRU
+  :class:`ArtifactCache`: artifacts are charged their honest device
+  footprint (masks bit-packed, one bit per position) and evicted
+  size-aware LRU past the budget, modelling the slice of device memory
+  reserved for resident reconfiguration state.
 
 CLI and benchmarking
 --------------------
-``rt3 serve --scenario bandwidth --devices 4 --policy least-loaded``
-serves a scenario on a sharded demo stack (``--no-time-slice`` restores
-whole-batch completions).  ``benchmarks/bench_serve.py`` measures the
-batched-vs-single speedup and the multi-device scaling, and writes a
-machine-readable digest to ``benchmarks/results/BENCH_serve.json``.
-CI regresses every PR against the committed copy of that file via
-``scripts/check_bench_regression.py``, which re-runs the bench at the
-baseline's own configuration and fails on a >15% simulated-throughput
-drop or a >20% simulated-p95 increase (wall-clock numbers are reported
-but not gated — they depend on the runner).
+``rt3 serve --scenario bursty --devices 4 --policy switch-aware
+--drain-policy level-affinity`` serves a scenario on a sharded demo
+stack (``--no-time-slice`` restores whole-batch completions;
+``--cache-budget-kb`` sizes the artifact cache).
+``benchmarks/bench_serve.py`` measures the batched-vs-single speedup
+and the multi-device scaling (digest in
+``benchmarks/results/BENCH_serve.json``);
+``benchmarks/bench_kernels.py`` measures the sparse kernels'
+wall-clock and op counts (``BENCH_kernels.json``).  CI regresses every
+PR against the committed copies of both digests via
+``scripts/check_bench_regression.py``: serve fails on a >15%
+simulated-throughput drop or >20% simulated-p95 rise, kernels on any
+op-count drift, exactness breach, or the grouped pattern kernel
+falling below its speedup floor (absolute wall-clock numbers are
+reported but not gated — they depend on the runner).
 """
 
 from repro.serve.batcher import (
@@ -47,9 +61,10 @@ from repro.serve.batcher import (
     pad_batch,
     run_padded,
 )
-from repro.serve.cache import ArtifactCache, CacheStats, LRUCache
+from repro.serve.cache import ArtifactCache, CacheStats, LRUCache, artifact_nbytes
 from repro.serve.engine import ServeEngine, ServeReport
 from repro.serve.sharding import (
+    DRAIN_POLICIES,
     POLICIES,
     DeviceShard,
     Dispatcher,
@@ -70,8 +85,10 @@ from repro.serve.scenarios import (
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "DRAIN_POLICIES",
     "DeviceShard",
     "Dispatcher",
+    "artifact_nbytes",
     "InferenceRequest",
     "LRUCache",
     "MicroBatcher",

@@ -1,4 +1,4 @@
-"""LRU artifact cache for run-time reconfiguration.
+"""LRU artifact cache for run-time reconfiguration, with a byte budget.
 
 Serving traffic re-installs masks and sparse-format conversions far more
 often than it changes them: a steady workload swaps pattern sets rarely,
@@ -10,14 +10,23 @@ previously seen operating point costs a dictionary lookup instead of a
 recomputation — the software analogue of the paper's claim that a pattern
 switch moves only kilobytes.
 
-The cache is deliberately dependency-free and generic:
+Because the cache stands in for *device-resident memory*, it is bounded
+by **bytes**, not entries: every stored artifact is charged its real
+footprint (:func:`artifact_nbytes` — ndarray ``nbytes``, a format's own
+``nbytes()`` accounting, bit-packed masks their packed size) and the
+least-recently-used artifacts are evicted until the total fits the
+budget.  A 1-bit-per-position packed mask therefore costs the cache 64x
+less than the float mask it reconstructs, exactly the paper's
+storage-format argument.
+
+The cache is deliberately small and generic:
 
 - :class:`LRUCache` — bounded mapping with least-recently-used eviction
-  and hit/miss/eviction accounting.
+  (entry capacity and/or byte budget) and hit/miss/eviction accounting;
 - :class:`ArtifactCache` — namespaced keys for pattern masks
   (``("mask", layer, set_digest)``) and format conversions
-  (``("fmt", layer, set_digest, fmt)``), plus targeted invalidation when
-  weights change or a pattern set is retired.
+  (``("fmt", layer, weight_token, fmt)``), plus targeted invalidation
+  when weights change or a pattern set is retired.
 
 Cached masks assume the underlying weights are frozen (the deployment
 regime after Level-1 training); call :meth:`ArtifactCache.invalidate`
@@ -26,9 +35,39 @@ after any weight update.
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+import numpy as np
+
+
+def artifact_nbytes(value: Any) -> int:
+    """Best-effort device-memory footprint of a cached artifact.
+
+    ndarrays report ``nbytes``; the sparse formats and
+    :class:`~repro.core.patterns.PackedMask` report their own exact byte
+    accounting (``nbytes`` attribute or method); containers sum their
+    members; everything else falls back to ``sys.getsizeof``.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    # a format's resident footprint (storage + materialized kernel tables)
+    # trumps its storage-only nbytes(): the cache holds the live object
+    resident = getattr(value, "resident_nbytes", None)
+    if callable(resident):
+        return int(resident())
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes() if callable(nbytes) else nbytes)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(artifact_nbytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(artifact_nbytes(v) for v in value.values())
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    return int(sys.getsizeof(value))
 
 
 @dataclass
@@ -65,16 +104,31 @@ class CacheStats:
 class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
-    ``capacity`` bounds the number of entries; 0 disables caching (every
-    lookup misses, nothing is stored) which lets callers keep one code
-    path.  Both ``get`` and ``put`` refresh an entry's recency.
+    Two independent bounds, either or both active:
+
+    - ``capacity`` bounds the number of entries (``None`` = unbounded);
+    - ``budget_bytes`` bounds the summed :func:`artifact_nbytes` of the
+      stored values (``None`` = unbounded) — size-aware eviction, so one
+      huge artifact can displace many small ones and vice versa.
+
+    Setting either bound to 0 disables caching (every lookup misses,
+    nothing is stored), which lets callers keep one code path.  An
+    artifact larger than the whole byte budget is never stored — caching
+    it would evict everything else for a single entry.  Both ``get`` and
+    ``put`` refresh an entry's recency.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
-        if capacity < 0:
+    def __init__(self, capacity: Optional[int] = 128,
+                 budget_bytes: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 0:
             raise ValueError("capacity cannot be negative")
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes cannot be negative")
         self.capacity = capacity
+        self.budget_bytes = budget_bytes
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._sizes: Dict[Hashable, int] = {}
+        self.total_bytes = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -86,7 +140,15 @@ class LRUCache:
     def keys(self) -> Iterable[Hashable]:
         return list(self._data.keys())
 
+    def entry_nbytes(self, key: Hashable) -> Optional[int]:
+        """Accounted size of one entry (None when absent)."""
+        return self._sizes.get(key)
+
     # ------------------------------------------------------------------
+    def _drop(self, key: Hashable) -> None:
+        del self._data[key]
+        self.total_bytes -= self._sizes.pop(key, 0)
+
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or miss."""
         if key in self._data:
@@ -96,15 +158,37 @@ class LRUCache:
         self.stats.misses += 1
         return default
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh ``key``, evicting the LRU entry when full."""
-        if self.capacity == 0:
+    def put(self, key: Hashable, value: Any,
+            nbytes: Optional[int] = None) -> None:
+        """Insert/refresh ``key``, evicting LRU entries past either bound.
+
+        ``nbytes`` overrides the :func:`artifact_nbytes` estimate when the
+        caller knows the artifact's real footprint.
+        """
+        if self.capacity == 0 or self.budget_bytes == 0:
+            return
+        # sizing walks containers recursively: skip it entirely when no
+        # byte bound would ever consult the result
+        if self.budget_bytes is None:
+            size = 0
+        else:
+            size = artifact_nbytes(value) if nbytes is None else int(nbytes)
+        if self.budget_bytes is not None and size > self.budget_bytes:
+            # oversized artifact: storing it would flush the whole cache
+            if key in self._data:
+                self._drop(key)
             return
         if key in self._data:
+            self.total_bytes -= self._sizes.get(key, 0)
             self._data.move_to_end(key)
         self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        self._sizes[key] = size
+        self.total_bytes += size
+        while ((self.capacity is not None and len(self._data) > self.capacity)
+               or (self.budget_bytes is not None
+                   and self.total_bytes > self.budget_bytes)):
+            lru_key = next(iter(self._data))
+            self._drop(lru_key)
             self.stats.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
@@ -124,10 +208,12 @@ class LRUCache:
         if predicate is None:
             removed = len(self._data)
             self._data.clear()
+            self._sizes.clear()
+            self.total_bytes = 0
         else:
             doomed = [k for k in self._data if predicate(k)]
             for k in doomed:
-                del self._data[k]
+                self._drop(k)
             removed = len(doomed)
         self.stats.invalidations += removed
         return removed
@@ -135,29 +221,38 @@ class LRUCache:
 
 @dataclass
 class ArtifactCache:
-    """Namespaced cache for the two serving hot-path artifacts.
+    """Byte-budgeted cache for the two serving hot-path artifacts.
 
-    - *masks*: ``(pp_mask, pattern_ids)`` pairs from
-      :func:`repro.core.patterns.pattern_mask_for_matrix`, keyed by
+    - *masks*: ``(PackedMask, pattern_ids)`` pairs derived from
+      :func:`repro.core.patterns.pattern_mask_for_matrix` and bit-packed
+      by the :class:`~repro.core.patterns.MaskManager`, keyed by
       ``(layer, pattern_set_digest)``;
     - *formats*: packed sparse matrices from :mod:`repro.sparse.formats`,
       keyed by ``(layer, weight_token, format)`` where the token is the
       owning layer's O(1) version counter
       (:attr:`repro.nn.layers.Linear.cache_token`).
 
-    One shared :class:`LRUCache` backs both namespaces so a single
-    capacity bound governs total memory.
+    One shared :class:`LRUCache` backs both namespaces, bounded by
+    ``budget_bytes`` (default 8 MiB) — the slice of device memory the
+    deployment reserves for resident reconfiguration artifacts.  Eviction
+    is size-aware LRU over :func:`artifact_nbytes`, so cache pressure
+    follows real artifact footprints instead of an entry count.
     """
 
-    capacity: int = 256
+    budget_bytes: int = 8 << 20
     store: LRUCache = field(init=False)
 
     def __post_init__(self) -> None:
-        self.store = LRUCache(self.capacity)
+        self.store = LRUCache(capacity=None, budget_bytes=self.budget_bytes)
 
     @property
     def stats(self) -> CacheStats:
         return self.store.stats
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Accounted footprint of everything currently cached."""
+        return self.store.total_bytes
 
     # -- key builders ---------------------------------------------------
     @staticmethod

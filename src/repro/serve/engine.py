@@ -1,8 +1,12 @@
 """Sharded serving engine: traffic in, adaptation + padded batches out.
 
 The engine owns the serving timeline.  Micro-batches are routed across
-``devices`` simulated devices (:mod:`repro.serve.sharding`); for each
-micro-batch the engine
+``devices`` simulated devices (:mod:`repro.serve.sharding`) — with the
+``switch-aware`` policy each candidate placement is charged for the
+pattern swap it would trigger, and with ``drain_policy="level-affinity"``
+each shard serves one V/F level run-to-run (fairness-window bounded) so
+a level's pattern set stays resident across a run; for each micro-batch
+the engine
 
 1. resolves the batch's operating point — every member shares a V/F
    level and a feasible pattern sparsity (that is the batcher's
@@ -50,6 +54,7 @@ from repro.serve.batcher import (
 )
 from repro.serve.cache import ArtifactCache, CacheStats
 from repro.serve.sharding import (
+    DRAIN_POLICIES,
     POLICIES,
     DeviceShard,
     Dispatcher,
@@ -167,10 +172,13 @@ class ServeEngine:
     attached to the manager so repeated installs of a known pattern set
     hit instead of re-deriving masks.  ``devices``/``policy`` control the
     shard fan-out and routing (:mod:`repro.serve.sharding`);
-    ``time_sliced`` picks the per-request completion model.  ``verify``
-    re-runs every batch member individually and records the worst
-    absolute deviation — the padding-exactness guarantee, at roughly
-    double the compute.
+    ``time_sliced`` picks the per-request completion model;
+    ``drain_policy``/``fairness_window`` pick each shard's queue drain
+    order (``fifo`` reproduces the serial engine's schedule exactly,
+    ``level-affinity`` serves V/F levels run-to-run to amortize pattern
+    residency).  ``verify`` re-runs every batch member individually and
+    records the worst absolute deviation — the padding-exactness
+    guarantee, at roughly double the compute.
     """
 
     def __init__(self, model, adapter: RuntimeAdapter, *, max_batch: int = 8,
@@ -178,9 +186,13 @@ class ServeEngine:
                  pad_id: int = 0, dvfs: Optional[DVFSTable] = None,
                  verify: bool = False, reinstall_per_batch: bool = True,
                  devices: int = 1, policy: str = "round-robin",
-                 time_sliced: bool = True, prewarm: bool = False) -> None:
+                 time_sliced: bool = True, prewarm: bool = False,
+                 drain_policy: str = "fifo", fairness_window: int = 4) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
+        if drain_policy not in DRAIN_POLICIES:
+            raise ValueError(f"unknown drain policy {drain_policy!r}; "
+                             f"options: {list(DRAIN_POLICIES)}")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -198,6 +210,8 @@ class ServeEngine:
         self.reinstall_per_batch = reinstall_per_batch
         self.devices = devices
         self.policy = policy
+        self.drain_policy = drain_policy
+        self.fairness_window = fairness_window
         self.time_sliced = time_sliced
         # ``prewarm=True`` models deploy-time provisioning: each device
         # starts with the pattern set of its first routed batch already
@@ -216,6 +230,13 @@ class ServeEngine:
                 f"unknown dispatch policy {policy!r}; options: {list(POLICIES)}")
         self.ladder: Dict[float, object] = dict(adapter.candidates)
         self.fallback_sparsity: float = adapter.candidates[-1][0]
+        # per-rung simulated pattern-swap cost, fed to switch-aware routing
+        # so a candidate placement is charged for the swap it would trigger
+        self._switch_cost_s: Dict[float, float] = {
+            sparsity: adapter.reconfigurator.pattern_switch(
+                adapter.workload, len(pset),
+                adapter.hardware_pattern_size).seconds
+            for sparsity, pset in self.ladder.items()}
         self.batcher = MicroBatcher(max_batch, window_s, key_fn=self._compat_key)
 
     # ------------------------------------------------------------------
@@ -232,7 +253,9 @@ class ServeEngine:
     def _route_all(self, groups: Sequence[List[InferenceRequest]]
                    ) -> List[DeviceShard]:
         """Phase 1: assign every micro-batch to a simulated device."""
-        shards = [DeviceShard(i) for i in range(self.devices)]
+        shards = [DeviceShard(i, drain_policy=self.drain_policy,
+                              fairness_window=self.fairness_window)
+                  for i in range(self.devices)]
         for shard in shards:
             # a device resumes with whatever it had installed last run; a
             # device this engine never used starts from the adapter's own
@@ -240,7 +263,8 @@ class ServeEngine:
             # replica ships with the masks installed before serving began)
             shard.active_sparsity = self._device_state.get(
                 shard.shard_id, self.adapter.active_sparsity)
-        dispatcher = Dispatcher(self.policy)
+            shard.expected_sparsity = shard.active_sparsity
+        dispatcher = Dispatcher(self.policy, switch_cost_s=self._switch_cost_s)
         for seq, group in enumerate(groups):
             level = self._level(group[0].level_name)
             sparsity = self.adapter.feasible_sparsity(

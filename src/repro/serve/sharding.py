@@ -6,30 +6,42 @@ simulated devices.  Each :class:`DeviceShard` owns
 - its own simulated clock and busy-time accounting,
 - *per-V/F-level FIFO queues*: a batch is enqueued under the V/F level in
   force when its requests arrived, so traffic at different operating
-  points never interleaves inside one queue (and a future drain policy
-  can serve a whole level run-to-run to amortize reconfiguration), and
+  points never interleaves inside one queue, and
 - its own installed-pattern state (``active_sparsity``): pattern-set
   switches are a *per-device* cost, so each shard pays for its own swaps
   independently of what its neighbours have installed.
 
 Routing is a two-phase simulation: the :class:`Dispatcher` first assigns
-every micro-batch to a shard (``round-robin`` or ``least-loaded``), then
-each shard drains its queues on its own timeline.  Draining follows the
-global flush order (the per-level queues are FIFO and the shard always
-serves the queue whose head was flushed earliest), so a one-shard engine
-reproduces the serial engine's schedule exactly — the property the
-time-slicing exactness tests pin down.
+every micro-batch to a shard, then each shard drains its queues on its
+own timeline.  Both phases know about reconfiguration:
+
+- **drain policies** — ``fifo`` follows the global flush order (min
+  ``seq`` across queue heads; a one-shard engine reproduces the serial
+  engine's schedule exactly, the property the time-slicing exactness
+  tests pin down).  ``level-affinity`` serves one V/F level *run-to-run*:
+  staying on a level keeps its pattern set resident, so rung-alternating
+  bursts stop re-switching per batch.  A ``fairness_window`` bounds each
+  run — after that many consecutive batches from one level while another
+  level has queued work, the drain rotates to the level with the oldest
+  waiting head, so no level starves under saturation.
+- **dispatch policies** — ``round-robin`` and ``least-loaded`` as before,
+  plus ``switch-aware``: least-loaded's backlog estimate *plus the cost
+  of the pattern swap this placement would trigger* on each candidate
+  shard, so batches gravitate to devices that already hold their pattern
+  set and reconfiguration traffic concentrates instead of spraying
+  across the fleet.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.serve.batcher import InferenceRequest
 
-POLICIES = ("round-robin", "least-loaded")
+POLICIES = ("round-robin", "least-loaded", "switch-aware")
+DRAIN_POLICIES = ("fifo", "level-affinity")
 
 
 @dataclass
@@ -85,38 +97,80 @@ class DeviceShard:
     """One simulated device: per-V/F-level queues plus its own timeline.
 
     ``enqueue`` files a batch under its V/F level; ``drain`` yields the
-    queued batches in global flush order (min ``seq`` across queue heads —
-    each per-level queue is FIFO, so this is a stable merge).  The shard's
-    installed-pattern state (``active_sparsity``) is updated by the engine
-    as it executes, because a pattern swap happens on *this* device no
-    matter what the other shards run.
+    queued batches according to ``drain_policy``:
+
+    - ``fifo`` — global flush order (min ``seq`` across queue heads; each
+      per-level queue is FIFO, so this is a stable merge);
+    - ``level-affinity`` — stay on the current level while it has queued
+      batches, rotating to the oldest-waiting other level after
+      ``fairness_window`` consecutive batches once another level is
+      waiting.  Level runs amortize the pattern set resident for that
+      level across the whole run.
+
+    The shard's installed-pattern state (``active_sparsity``) is updated
+    by the engine as it executes, because a pattern swap happens on
+    *this* device no matter what the other shards run.
+    ``expected_sparsity`` is the routing-time twin: the dispatcher's
+    prediction of what will be resident once the already-assigned batches
+    ran, used by switch-aware placement scoring.
     """
 
-    def __init__(self, shard_id: int) -> None:
+    def __init__(self, shard_id: int, drain_policy: str = "fifo",
+                 fairness_window: int = 4) -> None:
+        if drain_policy not in DRAIN_POLICIES:
+            raise ValueError(f"unknown drain policy {drain_policy!r}; "
+                             f"options: {list(DRAIN_POLICIES)}")
+        if fairness_window < 1:
+            raise ValueError("fairness_window must be at least 1")
         self.shard_id = shard_id
+        self.drain_policy = drain_policy
+        self.fairness_window = fairness_window
         self.queues: Dict[str, Deque[QueuedBatch]] = {}
         self.clock_s = 0.0
         self.pending_s = 0.0  # estimated backlog, maintained by routing/drain
         self.active_sparsity: Optional[float] = None
+        self.expected_sparsity: Optional[float] = None
         self.stats = ShardStats(shard_id)
 
     # -- queueing ------------------------------------------------------
     def enqueue(self, batch: QueuedBatch) -> None:
         self.queues.setdefault(batch.level_name, deque()).append(batch)
         self.pending_s += batch.est_service_s
+        if batch.sparsity is not None:
+            self.expected_sparsity = batch.sparsity
 
     def backlog(self) -> int:
         """Number of queued, not-yet-executed batches."""
         return sum(len(q) for q in self.queues.values())
 
+    def _oldest_head(self, exclude: Optional[str] = None) -> Optional[str]:
+        """Level whose queue head was flushed earliest (min seq)."""
+        heads = [(q[0].seq, name) for name, q in self.queues.items()
+                 if q and name != exclude]
+        return min(heads)[1] if heads else None
+
     def drain(self) -> Iterator[QueuedBatch]:
-        """Yield queued batches in global flush order across level queues."""
+        """Yield queued batches according to the drain policy."""
+        current: Optional[str] = None
+        run = 0
         while True:
-            heads = [(q[0].seq, name) for name, q in self.queues.items() if q]
-            if not heads:
+            if self.drain_policy == "fifo":
+                current = self._oldest_head()
+            else:  # level-affinity
+                others_waiting = any(q for name, q in self.queues.items()
+                                     if name != current and q)
+                stay = (current is not None
+                        and self.queues.get(current)
+                        and not (others_waiting
+                                 and run >= self.fairness_window))
+                if not stay:
+                    nxt = self._oldest_head(exclude=current)
+                    current = nxt if nxt is not None else self._oldest_head()
+                    run = 0
+            if current is None:
                 return
-            _, level_name = min(heads)
-            batch = self.queues[level_name].popleft()
+            batch = self.queues[current].popleft()
+            run += 1
             self.pending_s = max(0.0, self.pending_s - batch.est_service_s)
             yield batch
 
@@ -142,9 +196,18 @@ class Dispatcher:
       (sum of the analytic service estimates of the batches already
       assigned to it); ties break toward the lowest shard id, keeping the
       assignment deterministic.
+    - ``switch-aware``  — least-loaded's backlog *plus* the simulated
+      pattern-swap cost this placement would trigger: a candidate shard
+      whose ``expected_sparsity`` differs from the batch's resolved
+      sparsity is charged ``switch_cost_s[sparsity]`` seconds.  Batches
+      therefore prefer devices already holding their pattern set, and a
+      swap is only taken when the load imbalance outweighs it.
     """
 
     policy: str = "round-robin"
+    # per-sparsity simulated swap cost (seconds), supplied by the engine
+    # from its reconfigurator model; only consulted by ``switch-aware``
+    switch_cost_s: Mapping[float, float] = field(default_factory=dict)
     routed: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -152,14 +215,26 @@ class Dispatcher:
             raise ValueError(
                 f"unknown dispatch policy {self.policy!r}; options: {list(POLICIES)}")
 
+    def _placement_cost(self, batch: QueuedBatch, shard: DeviceShard) -> float:
+        """Estimated seconds until ``shard`` would finish ``batch``."""
+        cost = shard.pending_s
+        if (batch.sparsity is not None
+                and batch.sparsity != shard.expected_sparsity):
+            cost += self.switch_cost_s.get(batch.sparsity, 0.0)
+        return cost
+
     def route(self, batch: QueuedBatch, shards: Sequence[DeviceShard]) -> DeviceShard:
         """Pick a shard for ``batch`` and enqueue it there."""
         if not shards:
             raise ValueError("cannot route without shards")
         if self.policy == "round-robin":
             shard = shards[self.routed % len(shards)]
-        else:  # least-loaded
+        elif self.policy == "least-loaded":
             shard = min(shards, key=lambda s: (s.pending_s, s.shard_id))
+        else:  # switch-aware
+            shard = min(shards,
+                        key=lambda s: (self._placement_cost(batch, s),
+                                       s.shard_id))
         shard.enqueue(batch)
         self.routed += 1
         return shard

@@ -36,12 +36,16 @@ class StackConfig:
     max_batch: int = 8
     window_s: float = 0.05
     use_cache: bool = True
-    cache_capacity: int = 512
+    # device memory reserved for resident masks/format conversions; the
+    # ArtifactCache evicts size-aware LRU past this budget
+    cache_budget_bytes: int = 8 << 20
     verify: bool = False
     devices: int = 1
     policy: str = "round-robin"
     time_sliced: bool = True
     prewarm: bool = False
+    drain_policy: str = "fifo"
+    fairness_window: int = 4
 
 
 def build_serving_stack(cfg: Optional[StackConfig] = None
@@ -58,9 +62,12 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
               for s in cfg.sparsities}
     adapter = RuntimeAdapter(ladder, workload, manager=MaskManager(model),
                              hardware_pattern_size=cfg.pattern_size)
-    cache = ArtifactCache(capacity=cfg.cache_capacity) if cfg.use_cache else None
+    cache = (ArtifactCache(budget_bytes=cfg.cache_budget_bytes)
+             if cfg.use_cache else None)
     engine = ServeEngine(model, adapter, max_batch=cfg.max_batch,
                          window_s=cfg.window_s, cache=cache, verify=cfg.verify,
                          devices=cfg.devices, policy=cfg.policy,
-                         time_sliced=cfg.time_sliced, prewarm=cfg.prewarm)
+                         time_sliced=cfg.time_sliced, prewarm=cfg.prewarm,
+                         drain_policy=cfg.drain_policy,
+                         fairness_window=cfg.fairness_window)
     return model, workload, engine

@@ -5,18 +5,25 @@ sparsity execute on the target; this package makes those execution
 strategies concrete and testable:
 
 - :mod:`repro.sparse.formats` — COO, block-compressed (BP's kept-group
-  layout) and pattern-indexed storage with exact byte accounting and
-  dense round-trips;
+  layout) and pattern-indexed storage with exact byte accounting, dense
+  round-trips, and cached execution tables (tiles grouped by pattern id,
+  blocks grouped by height/kept signature) materialized once per matrix;
 - :mod:`repro.sparse.kernels` — matmul kernels for each format whose
   operation counts (:class:`OpCounter`) realize the cost ordering the
   paper argues for: block ≈ pattern ≪ irregular, and whose outputs match
-  the dense reference exactly.
+  the dense reference exactly.  The structured kernels are vectorized:
+  ``pattern_matmul`` runs one gather + one batched ``einsum`` per
+  *pattern* (≥10x over the scalar per-tile loop, kept as
+  :func:`pattern_matmul_loop` for the microbench), ``block_matmul`` one
+  batched GEMM per block group.
 """
 
 from repro.sparse.formats import (
     COOMatrix,
     BlockCompressedMatrix,
+    BlockMatmulGroup,
     PatternIndexedMatrix,
+    PatternTileGroup,
     from_dense_coo,
     from_dense_block,
     from_dense_pattern,
@@ -27,13 +34,16 @@ from repro.sparse.kernels import (
     coo_matmul,
     block_matmul,
     pattern_matmul,
+    pattern_matmul_loop,
 )
 from repro.sparse.executor import SparseExecutor, ModelAudit, LayerAudit, compare_formats
 
 __all__ = [
     "COOMatrix",
     "BlockCompressedMatrix",
+    "BlockMatmulGroup",
     "PatternIndexedMatrix",
+    "PatternTileGroup",
     "from_dense_coo",
     "from_dense_block",
     "from_dense_pattern",
@@ -42,6 +52,7 @@ __all__ = [
     "coo_matmul",
     "block_matmul",
     "pattern_matmul",
+    "pattern_matmul_loop",
     "SparseExecutor",
     "ModelAudit",
     "LayerAudit",

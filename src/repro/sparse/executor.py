@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.patterns import PatternSet, pattern_mask_for_matrix
+from repro.core.patterns import PackedMask, PatternSet, pattern_mask_for_matrix
 from repro.nn.layers import Linear, prunable_linears
 from repro.nn.module import Module
 from repro.sparse.formats import from_dense_block, from_dense_coo, from_dense_pattern
@@ -123,7 +123,11 @@ class SparseExecutor:
         elif self.fmt == "block":
             blocks = min(self.num_blocks, w.shape[0])
             config = f"blocks={blocks}"
-            compute = lambda: from_dense_block(w, blocks)  # noqa: E731
+
+            def compute():
+                converted = from_dense_block(w, blocks)
+                converted.matmul_groups()  # materialize before accounting
+                return converted
         else:  # pattern
             config = self.pattern_set.digest()
 
@@ -131,7 +135,12 @@ class SparseExecutor:
                 masked, ids = pattern_mask_for_matrix(w, self.pattern_set)
                 packed = from_dense_pattern(
                     w * masked, [p.mask for p in self.pattern_set], ids)
-                return packed, masked
+                # materialize the kernel tables *before* the artifact is
+                # sized: the cache holds the live object, so its byte
+                # budget must see the tables, not just the storage format
+                packed.pattern_groups()
+                # the mask rides along bit-packed: 1 bit per position
+                return packed, PackedMask(masked)
         if self.cache is None:
             return compute()
         return self.cache.get_format(name, token, self.fmt, compute,
@@ -150,9 +159,9 @@ class SparseExecutor:
         elif self.fmt == "block":
             got, counter = block_matmul(self._convert(name, w, token), x)
         else:  # pattern
-            packed, masked = self._convert(name, w, token)
+            packed, packed_mask = self._convert(name, w, token)
             got, counter = pattern_matmul(packed, x)
-            expected, _ = dense_matmul(w * masked, x)
+            expected, _ = dense_matmul(w * packed_mask.unpack(), x)
 
         err = float(np.abs(got - expected).max()) if expected.size else 0.0
         sparsity = float(1.0 - np.count_nonzero(w) / w.size)

@@ -1,6 +1,7 @@
-"""Unit tests for the CI bench-regression gate's comparison logic."""
+"""Unit tests for the CI multi-bench regression gate's comparison logic."""
 
 import importlib.util
+import json
 import pathlib
 
 import pytest
@@ -32,6 +33,28 @@ def digest(sim_rps=4000.0, p95=6.0, sharded_rps=5000.0, sharded_p95=5.0,
             "scaling": 2.8,
             "max_verify_error": err,
         },
+    }
+
+
+def kernels_digest(err=0.0, macs=131072, speedup=11.0, min_speedup=5.0):
+    return {
+        "seed": 0,
+        "repeats": 5,
+        "smoke": False,
+        "cases": {
+            "ffn-256x256-s75": {
+                "shape": [256, 256],
+                "op_counters": {
+                    "pattern": {"macs": macs, "index_ops": 12,
+                                "overhead_ops": 4096,
+                                "weighted_total": macs + 24 + 4096},
+                },
+                "wall_ms": {"pattern": 2.0},
+                "max_abs_err": {"pattern": err, "pattern_vs_loop": err},
+            },
+        },
+        "acceptance": {"case": "ffn-256x256-s75", "min_speedup": min_speedup,
+                       "speedup": speedup, "ok": speedup >= min_speedup},
     }
 
 
@@ -98,11 +121,91 @@ class TestCompare:
         assert {"speedup", "batched_throughput_rps"} <= info
 
 
+class TestCompareKernels:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_kernels(kernels_digest(), kernels_digest())
+        assert all(verdicts(findings).values())
+
+    def test_exactness_breach_fails(self):
+        findings = gate.compare_kernels(kernels_digest(), kernels_digest(err=1e-6))
+        got = verdicts(findings)
+        assert got["cases.ffn-256x256-s75.max_abs_err.pattern"] is False
+        assert got["cases.ffn-256x256-s75.max_abs_err.pattern_vs_loop"] is False
+
+    def test_op_counter_drift_fails(self):
+        # op counts are deterministic: any change is a behavioural change
+        findings = gate.compare_kernels(kernels_digest(),
+                                        kernels_digest(macs=131073))
+        got = verdicts(findings)
+        assert got["cases.ffn-256x256-s75.op_counters.pattern.macs"] is False
+
+    def test_speedup_below_floor_fails(self):
+        findings = gate.compare_kernels(kernels_digest(),
+                                        kernels_digest(speedup=3.0))
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_speedup_above_floor_passes(self):
+        findings = gate.compare_kernels(kernels_digest(),
+                                        kernels_digest(speedup=5.5))
+        assert verdicts(findings)["acceptance.speedup"] is True
+
+    def test_dropped_case_fails(self):
+        # removing a gated case from the bench must not silently pass
+        fresh = kernels_digest()
+        del fresh["cases"]["ffn-256x256-s75"]
+        findings = gate.compare_kernels(kernels_digest(), fresh)
+        missing = [f for f in findings if f["gated"] and not f["ok"]]
+        assert missing
+        assert any("missing from fresh run" in f["note"] for f in missing)
+
+    def test_dropped_kernel_fails(self):
+        fresh = kernels_digest()
+        del fresh["cases"]["ffn-256x256-s75"]["op_counters"]["pattern"]
+        findings = gate.compare_kernels(kernels_digest(), fresh)
+        got = {f["metric"]: f for f in findings if f["gated"]}
+        key = "cases.ffn-256x256-s75.op_counters.pattern"
+        assert got[key]["ok"] is False
+
+    def test_baseline_speedup_floor_is_authoritative(self):
+        # the bench cannot lower its own gate by editing its threshold
+        fresh = kernels_digest(speedup=3.0, min_speedup=1.0)
+        fresh["acceptance"]["ok"] = True
+        findings = gate.compare_kernels(kernels_digest(min_speedup=5.0), fresh)
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_floor_falls_back_to_fresh_for_old_baselines(self):
+        base = kernels_digest()
+        del base["acceptance"]
+        findings = gate.compare_kernels(base, kernels_digest(speedup=6.0))
+        assert verdicts(findings)["acceptance.speedup"] is True
+
+    def test_counter_missing_from_baseline_is_skipped(self):
+        base = kernels_digest()
+        del base["cases"]["ffn-256x256-s75"]["op_counters"]["pattern"]["macs"]
+        findings = gate.compare_kernels(base, kernels_digest())
+        got = {f["metric"]: f for f in findings}
+        key = "cases.ffn-256x256-s75.op_counters.pattern.macs"
+        assert got[key]["ok"] is True
+        assert "absent from baseline" in got[key]["note"]
+
+    def test_wall_clock_never_gated(self):
+        fresh = kernels_digest()
+        fresh["cases"]["ffn-256x256-s75"]["wall_ms"]["pattern"] = 1e6
+        findings = gate.compare_kernels(kernels_digest(), fresh)
+        assert all(verdicts(findings).values())
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "cases.ffn-256x256-s75.wall_ms.pattern" in info
+
+
 class TestRender:
     def test_render_marks_failures(self):
         findings = gate.compare(digest(), digest(sim_rps=1000.0))
         table = gate.render(findings)
         assert "FAIL" in table and "info" in table
+
+    def test_render_titles_benches(self):
+        table = gate.render(gate.compare(digest(), digest()), title="serve")
+        assert table.startswith("== serve ==")
 
 
 class TestMainEntry:
@@ -111,12 +214,24 @@ class TestMainEntry:
         assert code == 2
         assert "no committed baseline" in capsys.readouterr().err
 
+    def test_missing_kernels_baseline_errors(self, tmp_path, capsys):
+        code = gate.main(["--bench", "kernels",
+                          "--kernels-baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no committed baseline" in capsys.readouterr().err
+
     @pytest.mark.slow
     def test_end_to_end_pass_and_report(self, tmp_path, capsys):
         out = tmp_path / "report.json"
         fresh = tmp_path / "fresh.json"
-        code = gate.main(["--output", str(out), "--fresh-output", str(fresh)])
+        kfresh = tmp_path / "kernels_fresh.json"
+        code = gate.main(["--output", str(out), "--fresh-output", str(fresh),
+                          "--kernels-fresh-output", str(kfresh)])
         assert code == 0
         assert out.exists()
-        assert fresh.exists()  # no hidden write into the repo tree
+        # no hidden write into the repo tree
+        assert fresh.exists() and kfresh.exists()
+        report = json.loads(out.read_text())
+        assert set(report["benches"]) == {"serve", "kernels"}
+        assert report["ok"] is True
         assert "no bench regression detected" in capsys.readouterr().out

@@ -187,7 +187,7 @@ def build_engine(model, *, max_batch, use_cache, seed=0, verify=False):
               for s in (0.3, 0.5, 0.7, 0.9)}
     adapter = RuntimeAdapter(ladder, wl, manager=MaskManager(model),
                              hardware_pattern_size=8)
-    cache = ArtifactCache(capacity=256) if use_cache else None
+    cache = ArtifactCache() if use_cache else None
     return ServeEngine(model, adapter, max_batch=max_batch, cache=cache,
                        verify=verify), wl
 

@@ -40,7 +40,7 @@ def build_engine(model, **kwargs):
               for s in (0.3, 0.5, 0.7, 0.9)}
     adapter = RuntimeAdapter(ladder, wl, manager=MaskManager(model),
                              hardware_pattern_size=8)
-    return ServeEngine(model, adapter, cache=ArtifactCache(capacity=256),
+    return ServeEngine(model, adapter, cache=ArtifactCache(),
                        **kwargs), wl
 
 
@@ -332,3 +332,169 @@ class TestBandwidthScenario:
         assert None not in rungs, "bandwidth deadlines must stay feasible"
         assert len(rungs) >= 3, "fluctuating bandwidth should move the ladder"
         assert report.num_switches >= 2
+
+
+class TestLevelAffinityDrain:
+    def interleaved_shard(self, drain_policy="level-affinity", window=4,
+                          levels=("l6", "l4"), n=12):
+        shard = DeviceShard(0, drain_policy=drain_policy, fairness_window=window)
+        for seq in range(n):
+            shard.enqueue(make_batch(seq, levels[seq % len(levels)]))
+        return shard
+
+    def test_unknown_drain_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown drain policy"):
+            DeviceShard(0, drain_policy="lifo")
+
+    def test_invalid_fairness_window_rejected(self):
+        with pytest.raises(ValueError, match="fairness_window"):
+            DeviceShard(0, fairness_window=0)
+
+    def test_serves_levels_run_to_run(self):
+        # alternating enqueue order, but the drain sticks with a level:
+        # runs of `window` instead of a switch per batch
+        shard = self.interleaved_shard(window=4)
+        drained = list(shard.drain())
+        runs = []
+        for batch in drained:
+            if runs and runs[-1][0] == batch.level_name:
+                runs[-1][1].append(batch.seq)
+            else:
+                runs.append((batch.level_name, [batch.seq]))
+        # 6 batches per level, window 4: runs of 4,4 then the 2,2 tails —
+        # 4 level runs instead of FIFO's 12 alternations
+        assert len(runs) == 4
+        assert [len(seqs) for _, seqs in runs] == [4, 4, 2, 2]
+        # within a level, FIFO order is preserved
+        for _, seqs in runs:
+            assert seqs == sorted(seqs)
+        assert sorted(b.seq for b in drained) == list(range(12))
+
+    def test_fifo_still_default_and_global_order(self):
+        shard = self.interleaved_shard(drain_policy="fifo")
+        assert [b.seq for b in shard.drain()] == list(range(12))
+
+    def test_fairness_window_bounds_runs(self):
+        # window=2 on a 3-level interleave: no level may be served more
+        # than `window` consecutive batches while another level waits
+        shard = DeviceShard(0, drain_policy="level-affinity", fairness_window=2)
+        levels = ["l6", "l4", "l3"]
+        for seq in range(18):
+            shard.enqueue(make_batch(seq, levels[seq % 3]))
+        run_len, last, longest = 0, None, 0
+        for batch in shard.drain():
+            run_len = run_len + 1 if batch.level_name == last else 1
+            last = batch.level_name
+            longest = max(longest, run_len)
+        assert longest <= 2
+
+    def test_no_starvation_under_saturation(self):
+        # one dominant level must not starve the minority level: the
+        # minority's batches appear before the dominant queue is exhausted
+        shard = DeviceShard(0, drain_policy="level-affinity", fairness_window=3)
+        for seq in range(15):
+            shard.enqueue(make_batch(seq, "l6"))
+        shard.enqueue(make_batch(15, "l4"))
+        order = [b.level_name for b in shard.drain()]
+        assert "l4" in order[:4]  # served after at most `window` l6 batches
+        assert len(order) == 16
+
+    def test_exhausted_level_rotates_out(self):
+        shard = DeviceShard(0, drain_policy="level-affinity", fairness_window=8)
+        shard.enqueue(make_batch(0, "l6"))
+        for seq in range(1, 5):
+            shard.enqueue(make_batch(seq, "l4"))
+        drained = [b.seq for b in shard.drain()]
+        assert sorted(drained) == list(range(5))
+        assert shard.backlog() == 0
+
+
+class TestSwitchAwareDispatch:
+    def test_prefers_shard_with_matching_pattern_set(self):
+        shards = [DeviceShard(0), DeviceShard(1)]
+        shards[0].expected_sparsity = 0.3
+        shards[1].expected_sparsity = 0.7
+        dispatcher = Dispatcher("switch-aware", switch_cost_s={0.3: 1.0, 0.7: 1.0})
+        batch = make_batch(0)
+        batch.sparsity = 0.7
+        assert dispatcher.route(batch, shards).shard_id == 1
+
+    def test_load_outweighs_switch_when_imbalanced(self):
+        shards = [DeviceShard(0), DeviceShard(1)]
+        shards[0].expected_sparsity = 0.7
+        shards[0].pending_s = 5.0  # matching shard, but deeply backlogged
+        shards[1].expected_sparsity = 0.3
+        dispatcher = Dispatcher("switch-aware", switch_cost_s={0.7: 1.0})
+        batch = make_batch(0, est=0.1)
+        batch.sparsity = 0.7
+        # 5.0 backlog vs 0.0 + 1.0 switch: the swap is the cheaper path
+        assert dispatcher.route(batch, shards).shard_id == 1
+
+    def test_enqueue_updates_expected_sparsity(self):
+        shard = DeviceShard(0)
+        batch = make_batch(0)
+        batch.sparsity = 0.5
+        shard.enqueue(batch)
+        assert shard.expected_sparsity == 0.5
+
+    def test_unresolved_sparsity_costs_nothing(self):
+        # infeasible batches (sparsity None) rout purely by load
+        shards = [DeviceShard(0), DeviceShard(1)]
+        shards[1].pending_s = 1.0
+        dispatcher = Dispatcher("switch-aware", switch_cost_s={0.3: 9.0})
+        assert dispatcher.route(make_batch(0), shards).shard_id == 0
+
+
+class TestSwitchReductionEndToEnd:
+    """Acceptance: level-affinity + switch-aware cut simulated switches on
+    rung-alternating bursty traffic with throughput no worse."""
+
+    def run(self, policy, drain, devices, trace, model=None):
+        model = model or TransformerLM(LM_CFG).eval()
+        engine, _ = build_engine(model, devices=devices, policy=policy,
+                                 drain_policy=drain)
+        return engine.serve(list(trace))
+
+    def make_trace(self, wl, n=96):
+        # saturating bursts alternating V/F rungs: the worst case for
+        # global-FIFO drain (a pattern swap per burst)
+        return build_scenario("bursty", wl, ScenarioConfig(num_requests=n, seed=0),
+                              burst_size=8, burst_gap_s=1e-4)
+
+    def test_level_affinity_cuts_switches_single_device(self):
+        wl = profile_from_model(TransformerLM(LM_CFG).eval(), seq_len=12)
+        trace = self.make_trace(wl)
+        fifo = self.run("round-robin", "fifo", 1, trace)
+        affinity = self.run("round-robin", "level-affinity", 1, trace)
+        fifo_switches = sum(s.switches for s in fifo.shard_stats)
+        affinity_switches = sum(s.switches for s in affinity.shard_stats)
+        assert affinity.num_requests == fifo.num_requests
+        assert affinity_switches < fifo_switches
+        assert affinity.sim_throughput_rps >= fifo.sim_throughput_rps
+
+    def test_switch_aware_routing_cuts_switches_sharded(self):
+        wl = profile_from_model(TransformerLM(LM_CFG).eval(), seq_len=12)
+        trace = self.make_trace(wl)
+        fifo = self.run("least-loaded", "fifo", 4, trace)
+        tuned = self.run("switch-aware", "level-affinity", 4, trace)
+        fifo_switches = sum(s.switches for s in fifo.shard_stats)
+        tuned_switches = sum(s.switches for s in tuned.shard_stats)
+        assert tuned.num_requests == fifo.num_requests
+        assert tuned_switches < fifo_switches
+        assert tuned.sim_throughput_rps >= fifo.sim_throughput_rps
+
+    def test_outputs_identical_across_policies(self):
+        wl = profile_from_model(TransformerLM(LM_CFG).eval(), seq_len=12)
+        trace = self.make_trace(wl, n=32)
+        base = self.run("least-loaded", "fifo", 2, trace)
+        tuned = self.run("switch-aware", "level-affinity", 2, trace)
+        outs_a = {r.request.req_id: r.output for r in base.results}
+        outs_b = {r.request.req_id: r.output for r in tuned.results}
+        assert outs_a.keys() == outs_b.keys()
+        for req_id, out in outs_a.items():
+            np.testing.assert_allclose(out, outs_b[req_id], atol=1e-9, rtol=0)
+
+    def test_engine_rejects_unknown_drain_policy(self):
+        model = TransformerLM(LM_CFG).eval()
+        with pytest.raises(ValueError, match="unknown drain policy"):
+            build_engine(model, drain_policy="lifo")

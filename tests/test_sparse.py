@@ -16,6 +16,7 @@ from repro.sparse import (
     from_dense_coo,
     from_dense_pattern,
     pattern_matmul,
+    pattern_matmul_loop,
 )
 
 
@@ -138,6 +139,111 @@ class TestKernelCorrectness:
         w = bp_masked_matrix(shape=(8, 6))
         with pytest.raises(ValueError):
             dense_matmul(w, np.zeros((5, 1)))
+
+
+class TestVectorizedKernels:
+    """The grouped kernels must reproduce the scalar references exactly."""
+
+    @pytest.mark.parametrize("shape,psize,batch", [
+        ((16, 12), 4, 1), ((16, 12), 4, 3), ((14, 10), 4, 2),  # ragged pad
+        ((32, 32), 8, 5), ((8, 8), 8, 2),  # single tile
+    ])
+    def test_pattern_grouped_matches_loop(self, shape, psize, batch):
+        w, patterns, ids = pattern_masked_matrix(shape=shape, psize=psize,
+                                                 seed=11)
+        x = np.random.default_rng(4).normal(size=(shape[1], batch))
+        got, c_vec = pattern_matmul(from_dense_pattern(w, patterns, ids), x)
+        ref, c_loop = pattern_matmul_loop(from_dense_pattern(w, patterns, ids), x)
+        np.testing.assert_allclose(got, ref, atol=1e-12, rtol=0)
+        assert c_vec == c_loop  # identical op accounting
+
+    def test_pattern_grouped_vector_input(self):
+        w, patterns, ids = pattern_masked_matrix(shape=(16, 12), psize=4)
+        x = np.random.default_rng(5).normal(size=12)
+        out, _ = pattern_matmul(from_dense_pattern(w, patterns, ids), x)
+        assert out.shape == (16, 1)
+
+    def test_pattern_groups_cover_every_tile_once(self):
+        w, patterns, ids = pattern_masked_matrix(shape=(16, 16), psize=4, seed=2)
+        pm = from_dense_pattern(w, patterns, ids)
+        seen = []
+        for g in pm.pattern_groups():
+            assert np.all(pm.tile_ids[g.tile_rows, g.tile_cols] == g.pattern_id)
+            seen.extend(zip(g.tile_rows.tolist(), g.tile_cols.tolist()))
+        assert sorted(seen) == [(bi, bj) for bi in range(4) for bj in range(4)]
+
+    def test_table_charge_once_per_matrix(self):
+        """Satellite fix: kept-position tables are charged on the first
+        invocation only — materialized once, amortized across calls."""
+        w, patterns, ids = pattern_masked_matrix(shape=(16, 12), psize=4)
+        pm = from_dense_pattern(w, patterns, ids)
+        x = np.ones((12, 2))
+        _, first = pattern_matmul(pm, x)
+        _, second = pattern_matmul(pm, x)
+        table_ops = sum(len(np.argwhere(p != 0)) for p in pm.patterns)
+        assert first.index_ops == table_ops
+        assert second.index_ops == 0
+        assert second.macs == first.macs
+        assert second.overhead_ops == first.overhead_ops
+
+    def test_table_charge_shared_between_kernels(self):
+        # loop and grouped kernels share one table per matrix: whoever
+        # runs first pays, the other rides the materialized table
+        w, patterns, ids = pattern_masked_matrix(shape=(16, 12), psize=4)
+        pm = from_dense_pattern(w, patterns, ids)
+        x = np.ones((12, 2))
+        _, first = pattern_matmul_loop(pm, x)
+        _, second = pattern_matmul(pm, x)
+        assert first.index_ops > 0
+        assert second.index_ops == 0
+
+    def test_block_grouped_matches_dense(self):
+        # ragged block heights: 10 rows over 4 blocks -> mixed 2/3 heights
+        w = bp_masked_matrix(shape=(10, 12), rate=0.4, num_blocks=2, seed=9)
+        bc = from_dense_block(w, 4)
+        heights = {hi - lo for lo, hi in bc.block_bounds}
+        assert len(heights) > 1  # genuinely ragged
+        x = np.random.default_rng(6).normal(size=(12, 3))
+        expected, _ = dense_matmul(w, x)
+        got, counter = block_matmul(bc, x)
+        np.testing.assert_allclose(got, expected, atol=1e-12, rtol=0)
+        assert counter.overhead_ops == len(bc.block_bounds)
+        assert counter.index_ops == sum(len(c) for c in bc.kept_cols)
+
+    def test_block_groups_batch_uniform_blocks(self):
+        w = bp_masked_matrix(shape=(16, 12), rate=0.0, num_blocks=4)
+        bc = from_dense_block(w, 4)
+        # equal heights and (rate=0 -> all columns kept) equal kept counts:
+        # the whole matrix collapses into one batched group
+        assert len(bc.matmul_groups()) == 1
+        assert bc.matmul_groups() is bc.matmul_groups()  # cached
+
+    def test_degenerate_blocks_still_billed_one_dispatch(self):
+        # num_blocks > rows: zero-height blocks carry no work but still
+        # cost a per-block dispatch, matching the pre-grouping kernel
+        w = bp_masked_matrix(shape=(2, 8), rate=0.0, num_blocks=1)
+        bc = from_dense_block(w, 4)
+        assert len(bc.block_bounds) == 4
+        _, counter = block_matmul(bc, np.ones((8, 1)))
+        assert counter.overhead_ops == 4
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            from_dense_block(np.ones((4, 4)), 0)
+
+    def test_from_dense_pattern_matches_tilewise_reference(self):
+        w, patterns, ids = pattern_masked_matrix(shape=(14, 10), psize=4, seed=8)
+        pm = from_dense_pattern(w, patterns, ids)
+        stack = np.stack([p != 0 for p in np.asarray(patterns)])
+        padded = np.zeros((16, 12))
+        padded[:14, :10] = w
+        k = 0
+        for bi in range(4):
+            for bj in range(3):
+                tile = padded[bi * 4:(bi + 1) * 4, bj * 4:(bj + 1) * 4]
+                np.testing.assert_array_equal(pm.tile_values[k],
+                                              tile[stack[ids[bi, bj]]])
+                k += 1
 
 
 class TestCostModel:
