@@ -15,6 +15,18 @@ rules:
     - batched/sharded outputs deviate from per-request outputs
       (exactness is gated unconditionally at 1e-9).
 
+``stream`` (``benchmarks/results/BENCH_stream.json``)
+    - any swept streaming run's outputs deviate from the per-request
+      oracle beyond 1e-9;
+    - the admission-window sweep loses its monotone shape (batch size or
+      busy-time efficiency no longer non-decreasing, p50 no longer
+      non-decreasing in the window) — the tentpole tradeoff itself;
+    - per-window mean batch sizes drift from the committed baseline at
+      all (admission is deterministic simulation);
+    - endpoint drift: the widest window's service throughput drops more
+      than ``--max-throughput-drop`` or its p50 rises more than
+      ``--max-p95-increase``.
+
 ``kernels`` (``benchmarks/results/BENCH_kernels.json``)
     - any kernel deviates from the dense reference (or the grouped
       pattern kernel from its loop oracle) beyond 1e-9;
@@ -24,6 +36,13 @@ rules:
     - the grouped pattern kernel's speedup over the loop reference falls
       below the bench's own floor (a same-machine, same-process ratio —
       the one wall-clock number stable enough to gate).
+
+``table`` (``benchmarks/results/BENCH_table.json``)
+    - the V/F level row set (notation, frequency, voltage) differs from
+      the committed baseline at all — Table I is configuration, so any
+      drift is a real behavioural change;
+    - a modelled power number moves more than 1%;
+    - the governor-lookup wall time is recorded informationally.
 
 Only *deterministic* metrics are gated; absolute wall-clock numbers are
 recorded in the report but never gated — they measure the CI runner, not
@@ -123,6 +142,109 @@ def compare(baseline: dict, fresh: dict, *, max_throughput_drop: float = 0.15,
             "metric": path, "baseline": _lookup(baseline, path),
             "fresh": _lookup(fresh, path), "gated": False, "ok": True,
             "note": "informational (wall-clock / runner-dependent)"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# stream bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+def compare_stream(baseline: dict, fresh: dict, *,
+                   max_throughput_drop: float = 0.15,
+                   max_p95_increase: float = 0.20) -> List[dict]:
+    """Diff two streaming-bench digests; one finding per checked metric."""
+    findings: List[dict] = []
+    err = _lookup(fresh, "max_oracle_err")
+    findings.append({
+        "metric": "max_oracle_err", "baseline": EXACTNESS_TOL, "fresh": err,
+        "gated": True, "ok": err is not None and err < EXACTNESS_TOL,
+        "note": f"streaming outputs must match the per-request oracle to "
+                f"{EXACTNESS_TOL:.0e}"})
+    for flag in ("mean_batch_size", "service_throughput_rps",
+                 "p50_latency_ms"):
+        val = fresh.get("monotonic", {}).get(flag)
+        findings.append({
+            "metric": f"monotonic.{flag}", "baseline": 1.0,
+            "fresh": None if val is None else float(bool(val)), "gated": True,
+            "ok": bool(val),
+            "note": "window sweep must keep its monotone tradeoff shape"})
+    base_sweep = baseline.get("sweep", [])
+    fresh_sweep = fresh.get("sweep", [])
+    for i, base_pt in enumerate(base_sweep):
+        fresh_pt = fresh_sweep[i] if i < len(fresh_sweep) else {}
+        base_b, new_b = base_pt.get("mean_batch_size"), fresh_pt.get(
+            "mean_batch_size")
+        findings.append({
+            "metric": f"sweep[{i}].mean_batch_size", "baseline": base_b,
+            "fresh": new_b, "gated": True,
+            "ok": new_b is not None and new_b == base_b,
+            "note": "deterministic admission: per-window batch sizes must "
+                    "match baseline exactly"})
+    for path, kind in (("service_throughput_rps", "higher_is_better"),
+                       ("p50_latency_ms", "lower_is_better")):
+        base = base_sweep[-1].get(path) if base_sweep else None
+        new = fresh_sweep[-1].get(path) if fresh_sweep else None
+        finding = {"metric": f"sweep[-1].{path}", "baseline": base,
+                   "fresh": new, "gated": True}
+        if base is None:
+            finding.update(ok=True, note="metric absent from baseline; skipped")
+        elif new is None:
+            finding.update(ok=False, note="metric missing from fresh run")
+        elif kind == "higher_is_better":
+            floor = base * (1.0 - max_throughput_drop)
+            finding.update(ok=new >= floor, limit=floor,
+                           note=f"must stay >= {floor:.1f}")
+        else:
+            ceiling = base * (1.0 + max_p95_increase)
+            finding.update(ok=new <= ceiling, limit=ceiling,
+                           note=f"must stay <= {ceiling:.3f}")
+        findings.append(finding)
+    findings.append({
+        "metric": "tradeoff.efficiency_gain",
+        "baseline": _lookup(baseline, "tradeoff.efficiency_gain"),
+        "fresh": _lookup(fresh, "tradeoff.efficiency_gain"),
+        "gated": False, "ok": True, "note": "informational"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# table bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+POWER_DRIFT = 0.01
+
+
+def compare_table(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two Table-I digests: exact row set, bounded power drift."""
+    findings: List[dict] = []
+    base_rows = {r["name"]: r for r in baseline.get("levels", [])}
+    fresh_rows = {r["name"]: r for r in fresh.get("levels", [])}
+    same_set = (
+        {(r["name"], r["freq_mhz"], r["voltage_mv"])
+         for r in baseline.get("levels", [])}
+        == {(r["name"], r["freq_mhz"], r["voltage_mv"])
+            for r in fresh.get("levels", [])})
+    findings.append({
+        "metric": "levels.row_set", "baseline": float(len(base_rows)),
+        "fresh": float(len(fresh_rows)), "gated": True, "ok": same_set,
+        "note": "V/F rows (name, freq, voltage) are paper configuration: "
+                "must match exactly"})
+    for name, base_row in base_rows.items():
+        fresh_row = fresh_rows.get(name, {})
+        base_p, new_p = base_row.get("power_w"), fresh_row.get("power_w")
+        ok = (new_p is not None and base_p is not None
+              and abs(new_p - base_p) <= POWER_DRIFT * abs(base_p))
+        findings.append({
+            "metric": f"levels.{name}.power_w", "baseline": base_p,
+            "fresh": new_p, "gated": True, "ok": ok,
+            "note": f"modelled power must stay within "
+                    f"{100 * POWER_DRIFT:.0f}% of baseline"})
+    findings.append({
+        "metric": "governor.wall_ms",
+        "baseline": _lookup(baseline, "governor.wall_ms"),
+        "fresh": _lookup(fresh, "governor.wall_ms"),
+        "gated": False, "ok": True,
+        "note": "informational (wall-clock / runner-dependent)"})
     return findings
 
 
@@ -229,6 +351,25 @@ def run_fresh_kernels(baseline: dict) -> dict:
                      repeats=int(baseline.get("repeats", 5)))
 
 
+def run_fresh_stream(baseline: dict) -> dict:
+    """Re-run the streaming window sweep at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_stream import WINDOWS_MS, run_bench
+
+    return run_bench(num_requests=int(baseline.get("requests", 64)),
+                     windows_ms=baseline.get("windows_ms", list(WINDOWS_MS)),
+                     seed=int(baseline.get("seed", 0)))
+
+
+def run_fresh_table(baseline: dict) -> dict:
+    """Re-run the Table I digest at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_table1_dvfs import run_bench
+
+    return run_bench(lookups=int(baseline.get("governor", {})
+                                 .get("lookups", 1000)))
+
+
 class BenchSpec:
     """One registered bench: its baseline file, runner and comparator."""
 
@@ -247,9 +388,15 @@ BENCHES: Dict[str, BenchSpec] = {
     "serve": BenchSpec("serve", RESULTS / "BENCH_serve.json",
                        RESULTS / "BENCH_serve.fresh.json",
                        run_fresh_serve, compare),
+    "stream": BenchSpec("stream", RESULTS / "BENCH_stream.json",
+                        RESULTS / "BENCH_stream.fresh.json",
+                        run_fresh_stream, compare_stream),
     "kernels": BenchSpec("kernels", RESULTS / "BENCH_kernels.json",
                          RESULTS / "BENCH_kernels.fresh.json",
                          run_fresh_kernels, compare_kernels),
+    "table": BenchSpec("table", RESULTS / "BENCH_table.json",
+                       RESULTS / "BENCH_table.fresh.json",
+                       run_fresh_table, compare_table),
 }
 
 
@@ -276,6 +423,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the serve baseline digest path")
     parser.add_argument("--kernels-baseline", type=pathlib.Path, default=None,
                         help="override the kernels baseline digest path")
+    parser.add_argument("--stream-baseline", type=pathlib.Path, default=None,
+                        help="override the stream baseline digest path")
+    parser.add_argument("--table-baseline", type=pathlib.Path, default=None,
+                        help="override the table baseline digest path")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_REPORT,
                         help="where to write the shared comparison report")
     parser.add_argument("--fresh-output", type=pathlib.Path, default=None,
@@ -284,10 +435,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--kernels-fresh-output", type=pathlib.Path,
                         default=None,
                         help="override the kernels fresh-digest path")
+    parser.add_argument("--stream-fresh-output", type=pathlib.Path,
+                        default=None,
+                        help="override the stream fresh-digest path")
+    parser.add_argument("--table-fresh-output", type=pathlib.Path,
+                        default=None,
+                        help="override the table fresh-digest path")
     parser.add_argument("--max-throughput-drop", type=float, default=0.15,
-                        help="serve: allowed fractional sim-throughput drop")
+                        help="serve + stream: allowed fractional throughput "
+                             "drop (serve sim-throughput, stream widest-"
+                             "window service throughput)")
     parser.add_argument("--max-p95-increase", type=float, default=0.20,
-                        help="serve: allowed fractional sim-p95 rise")
+                        help="serve + stream: allowed fractional latency "
+                             "rise (serve sim-p95, stream widest-window p50)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="overwrite the selected baselines with the "
                              "fresh digests instead of gating (commit them)")
@@ -296,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     overrides = {
         "serve": (args.baseline, args.fresh_output),
         "kernels": (args.kernels_baseline, args.kernels_fresh_output),
+        "stream": (args.stream_baseline, args.stream_fresh_output),
+        "table": (args.table_baseline, args.table_fresh_output),
     }
     selected = list(BENCHES) if args.bench == "all" else [args.bench]
 
@@ -303,7 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     total_failures = 0
     for name in selected:
         spec = BENCHES[name]
-        baseline_path, fresh_path = overrides[name]
+        baseline_path, fresh_path = overrides.get(name, (None, None))
         baseline_path = baseline_path or spec.baseline_path
         fresh_path = fresh_path or spec.fresh_path
         if not baseline_path.exists():
@@ -322,7 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{name}] baseline updated -> {baseline_path}")
             continue
 
-        if name == "serve":
+        if name in ("serve", "stream"):
             findings = spec.comparator(
                 baseline, fresh,
                 max_throughput_drop=args.max_throughput_drop,

@@ -190,7 +190,13 @@ def cmd_ablation(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve import ScenarioConfig, StackConfig, build_scenario, build_serving_stack
+    from repro.serve import (
+        ScenarioConfig,
+        StackConfig,
+        build_scenario,
+        build_serving_stack,
+        stream_scenario,
+    )
 
     _, workload, engine = build_serving_stack(StackConfig(
         dim=args.dim, vocab_size=args.vocab_size, seq_len=args.seq_len,
@@ -200,13 +206,27 @@ def cmd_serve(args) -> int:
         cache_budget_bytes=int(args.cache_budget_kb * 1024),
         verify=args.verify, devices=args.devices, policy=args.policy,
         time_sliced=not args.no_time_slice, drain_policy=args.drain_policy,
-        fairness_window=args.fairness_window))
-    trace = build_scenario(args.scenario, workload, ScenarioConfig(
+        fairness_window=args.fairness_window,
+        streaming=args.streaming,
+        max_wait_s=(args.max_wait_ms / 1e3
+                    if args.max_wait_ms is not None else None)))
+    scenario_cfg = ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
-        seq_len=args.seq_len, max_len=args.max_len, seed=args.seed))
-    report = engine.serve(trace)
+        seq_len=args.seq_len, max_len=args.max_len, seed=args.seed)
+    if args.streaming:
+        # online path: the lazy arrival stream is fed through the event
+        # loop one request at a time (StreamingEngine.play owns the
+        # feeding discipline), forming micro-batches at admission time
+        completed = engine.play(stream_scenario(args.scenario, workload,
+                                                scenario_cfg))
+        report = engine.report()
+        assert len(completed) == report.num_requests
+    else:
+        trace = build_scenario(args.scenario, workload, scenario_cfg)
+        report = engine.serve(trace)
     summary = {"scenario": args.scenario, "batch_size": args.batch_size,
-               "cache_enabled": not args.no_cache, **report.summary()}
+               "cache_enabled": not args.no_cache,
+               "streaming": args.streaming, **report.summary()}
     print(json.dumps(summary, indent=2))
     if args.output:
         # written before the verify gate so a mismatch still leaves the
@@ -274,9 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(switch-aware charges a placement for the "
                               "pattern swap it would trigger)")
     p_serve.add_argument("--drain-policy", default="fifo",
-                         choices=["fifo", "level-affinity"],
+                         choices=["fifo", "level-affinity", "adaptive"],
                          help="per-shard queue drain order: global flush "
-                              "order, or one V/F level run-to-run")
+                              "order, one V/F level run-to-run, or adaptive "
+                              "(each shard flips itself to level-affinity "
+                              "when its observed switch rate crosses a "
+                              "threshold)")
+    p_serve.add_argument("--streaming", action="store_true",
+                         help="feed the scenario arrival-by-arrival through "
+                              "the online submit/tick/drain event loop "
+                              "instead of serving the materialized trace")
+    p_serve.add_argument("--max-wait-ms", type=float, default=None,
+                         help="streaming admission window (defaults to "
+                              "--window-ms): max time a partial micro-batch "
+                              "waits for compatible arrivals")
     p_serve.add_argument("--fairness-window", type=int, default=4,
                          help="level-affinity: max consecutive batches from "
                               "one level while another level waits")

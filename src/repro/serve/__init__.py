@@ -1,32 +1,47 @@
-"""Sharded batched inference serving: micro-batching, caching, scenarios.
+"""Event-driven streaming inference serving: admit, batch, route, tick.
 
-The production half of run-time reconfiguration: instead of one request
-at a time through :class:`~repro.core.runtime_policy.RuntimeAdapter`,
-traffic is grouped into padded micro-batches per operating point and
-routed across ``N`` simulated devices, masks and sparse-format
-conversions are memoized in an LRU artifact cache, and scenario
-generators replay the paper's deployment stories as request traces.
+The production half of run-time reconfiguration: requests enter an
+*online admission loop* (:class:`StreamingEngine`) one arrival at a
+time, compatible requests (same V/F level + feasible pattern sparsity)
+form padded micro-batches under a configurable batching window, and
+batches are routed at admission time across ``N`` simulated devices
+whose clocks are advanced by a global event heap (arrivals, batch-window
+closes, device executions).  Masks and sparse-format conversions are
+memoized in an LRU artifact cache, and scenario generators stream the
+paper's deployment stories as lazy arrival iterators.
 
 Layout
 ------
 - :mod:`~repro.serve.batcher`   — requests, padding-exact vectorized
-  forwards, the compatibility-keyed micro-batcher;
+  forwards, and the two halves of micro-batching: the incremental
+  :class:`AdmissionQueue` (admit one request at a time; flush on
+  ``max_batch`` or at the group's window deadline) and the offline
+  :class:`MicroBatcher` wrapper that replays a known trace through it;
+- :mod:`~repro.serve.streaming` — the :class:`StreamingEngine` event
+  loop (``submit`` / ``tick`` / ``drain``): one simulated-time heap
+  over arrivals, window closes and shard executions.  Semantics are
+  tick-granularity independent — any feeding schedule of the same
+  arrival stream produces the same admissions, placements and
+  simulated timeline;
+- :mod:`~repro.serve.engine`    — the offline :class:`ServeEngine`
+  wrapper: ``serve(trace)`` submits the whole trace into a streaming
+  session and drains it, preserving the historical trace-at-once API on
+  top of the online core (with the default ``fifo`` drain the simulated
+  metrics are exactly the pre-streaming engine's; affinity-style drains
+  decide online, from the batches admitted by each decision instant);
 - :mod:`~repro.serve.sharding`  — :class:`DeviceShard` (per-V/F-level
-  FIFO queues, per-device clock and installed-pattern state; drain
-  policies ``fifo`` — global flush order — and ``level-affinity`` —
-  serve one V/F level run-to-run, bounded by a fairness window, so the
-  level's pattern set stays resident) and the :class:`Dispatcher`
-  routing policies ``round-robin`` / ``least-loaded`` / ``switch-aware``
+  FIFO queues, per-device clock and installed-pattern state, and the
+  event-driven ``next_event_s``/``pop_next`` interface the loop drives;
+  drain policies ``fifo`` — global flush order — ``level-affinity`` —
+  serve one V/F level run-to-run under a fairness window — and
+  ``adaptive`` — flip to level-affinity when the shard's observed
+  switch rate crosses a threshold) and the :class:`Dispatcher` routing
+  policies ``round-robin`` / ``least-loaded`` / ``switch-aware``
   (least-loaded plus the simulated cost of the pattern swap a placement
-  would trigger, so batches gravitate to devices already holding their
-  pattern set);
-- :mod:`~repro.serve.engine`    — the sharded :class:`ServeEngine` with
-  the *time-sliced* completion model: each request finishes at its own
-  offset inside the batch (overhead + its share of MAC work) instead of
-  paying the whole batch service time, which sharpens p50 under light
-  load without moving any batch's end time;
+  would trigger);
 - :mod:`~repro.serve.scenarios` — ``steady`` / ``bursty`` / ``battery``
-  / ``bandwidth`` traffic generators; ``bandwidth`` is the paper's
+  / ``bandwidth`` lazy traffic streams (``stream_scenario``) with the
+  offline ``build_scenario`` materializer; ``bandwidth`` is the paper's
   translation example, a fluctuating network-bandwidth trace driving
   per-request deadline jitter;
 - :mod:`~repro.serve.cache`     — the byte-budgeted LRU
@@ -37,24 +52,29 @@ Layout
 
 CLI and benchmarking
 --------------------
+``rt3 serve --scenario bursty --streaming --max-wait-ms 10 --verify``
+feeds a scenario arrival-by-arrival through the online loop;
 ``rt3 serve --scenario bursty --devices 4 --policy switch-aware
---drain-policy level-affinity`` serves a scenario on a sharded demo
-stack (``--no-time-slice`` restores whole-batch completions;
+--drain-policy level-affinity`` serves the same trace offline
+(``--drain-policy adaptive`` lets each device pick for itself;
+``--no-time-slice`` restores whole-batch completions;
 ``--cache-budget-kb`` sizes the artifact cache).
 ``benchmarks/bench_serve.py`` measures the batched-vs-single speedup
-and the multi-device scaling (digest in
-``benchmarks/results/BENCH_serve.json``);
-``benchmarks/bench_kernels.py`` measures the sparse kernels'
-wall-clock and op counts (``BENCH_kernels.json``).  CI regresses every
-PR against the committed copies of both digests via
-``scripts/check_bench_regression.py``: serve fails on a >15%
-simulated-throughput drop or >20% simulated-p95 rise, kernels on any
-op-count drift, exactness breach, or the grouped pattern kernel
-falling below its speedup floor (absolute wall-clock numbers are
-reported but not gated — they depend on the runner).
+and the multi-device scaling (``BENCH_serve.json``);
+``benchmarks/bench_stream.py`` sweeps the admission window on bursty
+traffic — throughput/efficiency vs p50/p95, exactness against the
+per-request oracle (``BENCH_stream.json``);
+``benchmarks/bench_kernels.py`` measures the sparse kernels
+(``BENCH_kernels.json``).  CI regresses every PR against the committed
+digests via ``scripts/check_bench_regression.py`` (serve: simulated
+throughput/p95 drift + exactness; stream: exactness, batching
+monotonicity, endpoint drift; kernels: op counts, exactness, speedup
+floor; table: row-set equality + power drift).
 """
 
 from repro.serve.batcher import (
+    AdmissionQueue,
+    FlushedGroup,
     InferenceRequest,
     MicroBatcher,
     RequestResult,
@@ -62,7 +82,8 @@ from repro.serve.batcher import (
     run_padded,
 )
 from repro.serve.cache import ArtifactCache, CacheStats, LRUCache, artifact_nbytes
-from repro.serve.engine import ServeEngine, ServeReport
+from repro.serve.engine import ServeEngine
+from repro.serve.streaming import ServeReport, StreamingEngine
 from repro.serve.sharding import (
     DRAIN_POLICIES,
     POLICIES,
@@ -80,14 +101,17 @@ from repro.serve.scenarios import (
     build_scenario,
     bursty_interactive,
     steady_translation,
+    stream_scenario,
 )
 
 __all__ = [
+    "AdmissionQueue",
     "ArtifactCache",
     "CacheStats",
     "DRAIN_POLICIES",
     "DeviceShard",
     "Dispatcher",
+    "FlushedGroup",
     "artifact_nbytes",
     "InferenceRequest",
     "LRUCache",
@@ -101,6 +125,7 @@ __all__ = [
     "ServeReport",
     "ShardStats",
     "StackConfig",
+    "StreamingEngine",
     "bandwidth_fluctuation",
     "battery_drain_longtail",
     "build_scenario",
@@ -109,4 +134,5 @@ __all__ = [
     "pad_batch",
     "run_padded",
     "steady_translation",
+    "stream_scenario",
 ]

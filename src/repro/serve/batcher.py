@@ -8,20 +8,27 @@ with a key-padding mask, so every valid output position agrees with the
 per-request forward to machine precision (asserted in the tests and the
 serving bench).
 
-Three pieces:
+Four pieces:
 
 - :class:`InferenceRequest` / :class:`RequestResult` — the unit of work
   and its outcome record;
 - :func:`pad_batch` / :func:`run_padded` — padding plus the vectorized
   masked forward with per-request output slicing;
-- :class:`MicroBatcher` — deterministic grouping of an arrival stream
-  into FIFO micro-batches under a compatibility key, a batch-size bound
-  and a batching-window bound.
+- :class:`AdmissionQueue` — the *incremental* batcher: requests are
+  admitted one at a time under a compatibility key, a group flushes the
+  instant it reaches ``max_batch``, and every open group carries a
+  window deadline (``opened_s + max_wait_s``) the event loop closes it
+  at.  This is the admission-time half of the streaming serving core
+  (:mod:`repro.serve.streaming`);
+- :class:`MicroBatcher` — the trace-grouping wrapper: replays a fully
+  known arrival stream through an :class:`AdmissionQueue` (arrivals and
+  window closes merged in time order), so offline batching is *by
+  construction* the same grouping the online loop would produce.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -153,16 +160,167 @@ def _default_key(request: InferenceRequest) -> Hashable:
     return request.level_name
 
 
-class MicroBatcher:
-    """Group an arrival-ordered request stream into micro-batches.
+@dataclass
+class FlushedGroup:
+    """One closed micro-batch group, as emitted by the admission queue.
 
-    Requests are compatible when ``key_fn`` agrees (by default the V/F
-    level in force at arrival; the serving engine keys on the resolved
-    pattern set as well).  A group is flushed when it reaches
-    ``max_batch``, when the arrival stream advances more than
-    ``window_s`` past the group's oldest member, or at end of stream —
-    so a lone request waits at most one batching window.  Grouping is
-    deterministic and preserves FIFO order within a key.
+    ``full`` distinguishes the two close reasons, because they imply
+    different dispatch times: a full group leaves when its last member
+    arrives; a window-closed (or end-of-stream) partial group is ready
+    only at ``opened_s + max_wait_s`` — the online batcher cannot know
+    no more compatible requests are coming.
+    """
+
+    key: Hashable
+    requests: List[InferenceRequest]
+    opened_s: float  # arrival of the first member
+    deadline_s: float  # opened_s + max_wait_s (the window close)
+    full: bool  # closed because it reached max_batch
+
+    @property
+    def ready_s(self) -> float:
+        """Earliest dispatch time under the batching-window rule."""
+        if self.full:
+            return max(r.arrival_s for r in self.requests)
+        return self.deadline_s
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class _OpenGroup:
+    key: Hashable
+    opened_s: float
+    deadline_s: float
+    generation: int  # invalidates stale window-close events after a flush
+    requests: List[InferenceRequest] = field(default_factory=list)
+
+
+class AdmissionQueue:
+    """Incremental micro-batch admission under a batching window.
+
+    The online half of micro-batching: requests are admitted one at a
+    time (:meth:`add`), grouped by ``key_fn``.  A group closes
+
+    - the instant its ``max_batch``-th member is admitted (``add``
+      returns the flushed group), or
+    - when its *window deadline* (``opened_s + max_wait_s``) passes —
+      the caller owns the clock, so it either drives :meth:`close_due`
+      from an event loop or lets :meth:`flush_remaining` close
+      everything at end of stream.
+
+    Each ``add`` that opens a new group returns its window deadline so
+    an event-driven caller can schedule the close; ``generation`` tags
+    let it discard close events for groups that already flushed full.
+    Admission order must be non-decreasing in time (ties allowed); the
+    queue is deterministic and preserves FIFO order within a key.
+    """
+
+    def __init__(self, max_batch: int = 8, max_wait_s: float = 0.05,
+                 key_fn: Optional[Callable[[InferenceRequest], Hashable]] = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_s < 0:
+            raise ValueError("window cannot be negative")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.key_fn = key_fn or _default_key
+        # insertion-ordered: dict order == group creation order == ascending
+        # opened_s (admission is time-ordered), which keeps every flush
+        # discipline below deterministic
+        self._open: Dict[Hashable, _OpenGroup] = {}
+        self._generation = 0
+        self._last_admitted_s = float("-inf")
+
+    def __len__(self) -> int:
+        """Number of requests currently waiting in open groups."""
+        return sum(len(g.requests) for g in self._open.values())
+
+    @property
+    def open_groups(self) -> int:
+        return len(self._open)
+
+    def next_deadline_s(self) -> Optional[float]:
+        """Earliest window close among open groups (None when empty)."""
+        if not self._open:
+            return None
+        return min(g.deadline_s for g in self._open.values())
+
+    def _close(self, key: Hashable, full: bool) -> FlushedGroup:
+        group = self._open.pop(key)
+        return FlushedGroup(group.key, group.requests, group.opened_s,
+                            group.deadline_s, full)
+
+    def add(self, request: InferenceRequest, now: float
+            ) -> Tuple[Optional[FlushedGroup], Optional[Tuple[float, Hashable, int]]]:
+        """Admit one request at time ``now``.
+
+        Returns ``(flushed, window)``: ``flushed`` is the request's own
+        group if this admission filled it to ``max_batch`` (closed
+        immediately, ready at ``now``); ``window`` is
+        ``(deadline_s, key, generation)`` when the admission *opened* a
+        new group, for the caller to schedule the window close.
+        """
+        if now < self._last_admitted_s:
+            raise ValueError("admissions must be time-ordered")
+        self._last_admitted_s = now
+        key = self.key_fn(request)
+        window: Optional[Tuple[float, Hashable, int]] = None
+        group = self._open.get(key)
+        if group is None:
+            self._generation += 1
+            group = _OpenGroup(key, now, now + self.max_wait_s, self._generation)
+            self._open[key] = group
+            window = (group.deadline_s, key, group.generation)
+        group.requests.append(request)
+        if len(group.requests) >= self.max_batch:
+            return self._close(key, full=True), window
+        return None, window
+
+    def close_due(self, now: float, *, strict: bool = False
+                  ) -> List[FlushedGroup]:
+        """Close every group whose window deadline has passed.
+
+        ``strict=True`` closes only deadlines strictly before ``now`` —
+        the discipline used when replaying a trace arrival-by-arrival,
+        where groups whose deadline lands exactly on an arrival close
+        *after* the admissions at that instant (matching the event
+        loop's arrival-before-window-close ordering).
+        """
+        due = [key for key, g in self._open.items()
+               if (g.deadline_s < now if strict else g.deadline_s <= now)]
+        return [self._close(key, full=False) for key in due]
+
+    def close_generation(self, key: Hashable, generation: int
+                         ) -> Optional[FlushedGroup]:
+        """Close ``key``'s group iff it is still the tagged generation.
+
+        The event-loop entry point for window-close events: a group that
+        flushed full (and possibly reopened) since the event was
+        scheduled is left alone.
+        """
+        group = self._open.get(key)
+        if group is None or group.generation != generation:
+            return None
+        return self._close(key, full=False)
+
+    def flush_remaining(self) -> List[FlushedGroup]:
+        """End of stream: close all open groups, oldest first."""
+        return [self._close(key, full=False) for key in list(self._open)]
+
+
+class MicroBatcher:
+    """Group a fully known arrival-ordered request stream into batches.
+
+    The trace-grouping wrapper over :class:`AdmissionQueue`: requests
+    (sorted by arrival, ties by ``req_id``) are replayed through the
+    incremental queue with window closes merged in at their deadlines,
+    so the offline grouping is — by construction, not by parallel
+    implementation — exactly what the streaming admission loop produces
+    for the same trace.  A group is flushed when it reaches
+    ``max_batch``, when its batching window ``window_s`` closes, or at
+    end of stream; a lone request waits at most one batching window.
     """
 
     def __init__(self, max_batch: int = 8, window_s: float = 0.05,
@@ -175,29 +333,26 @@ class MicroBatcher:
         self.window_s = window_s
         self.key_fn = key_fn or _default_key
 
+    def queue_factory(self) -> AdmissionQueue:
+        """A fresh admission queue with this batcher's grouping rules."""
+        return AdmissionQueue(self.max_batch, self.window_s, self.key_fn)
+
     def batches(self, requests: Sequence[InferenceRequest]
                 ) -> List[List[InferenceRequest]]:
         """Deterministically batch ``requests`` (sorted by arrival)."""
+        return [g.requests for g in self.flushed_groups(requests)]
+
+    def flushed_groups(self, requests: Sequence[InferenceRequest]
+                       ) -> List[FlushedGroup]:
+        """Replay the trace through an admission queue; groups in flush order."""
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        open_groups: Dict[Hashable, List[InferenceRequest]] = {}
-        flush_order: List[List[InferenceRequest]] = []
-
-        def flush(key: Hashable) -> None:
-            group = open_groups.pop(key, None)
-            if group:
-                flush_order.append(group)
-
+        queue = self.queue_factory()
+        flushed: List[FlushedGroup] = []
         for req in ordered:
-            # time out any group whose window the stream has passed
-            for key in list(open_groups):
-                group = open_groups[key]
-                if req.arrival_s - group[0].arrival_s > self.window_s:
-                    flush(key)
-            key = self.key_fn(req)
-            open_groups.setdefault(key, []).append(req)
-            if len(open_groups[key]) >= self.max_batch:
-                flush(key)
-        # end of stream: flush leftovers in oldest-first order
-        for key in sorted(open_groups, key=lambda k: open_groups[k][0].arrival_s):
-            flush(key)
-        return flush_order
+            # windows that closed strictly before this arrival flush first
+            flushed.extend(queue.close_due(req.arrival_s, strict=True))
+            full, _ = queue.add(req, req.arrival_s)
+            if full is not None:
+                flushed.append(full)
+        flushed.extend(queue.flush_remaining())
+        return flushed

@@ -1,15 +1,29 @@
-"""Sharded serving engine: traffic in, adaptation + padded batches out.
+"""Offline serving wrapper over the event-driven streaming core.
 
-The engine owns the serving timeline.  Micro-batches are routed across
-``devices`` simulated devices (:mod:`repro.serve.sharding`) — with the
-``switch-aware`` policy each candidate placement is charged for the
-pattern swap it would trigger, and with ``drain_policy="level-affinity"``
-each shard serves one V/F level run-to-run (fairness-window bounded) so
-a level's pattern set stays resident across a run; for each micro-batch
-the engine
+:class:`ServeEngine` is the trace-at-once API: it keeps the historical
+constructor and ``serve(requests) -> ServeReport`` surface, but the
+serving semantics live in :class:`~repro.serve.streaming.StreamingEngine`
+— ``serve`` simply spins up a streaming session seeded with this
+engine's per-device installed-pattern state, submits the whole trace,
+drains the event loop, and syncs the device state back.  Because the
+streaming loop is tick-granularity independent, the wrapper's batching,
+routing and simulated timeline are identical to feeding the same
+arrivals through ``submit``/``tick`` online (asserted across scenarios,
+device counts and dispatch policies in the streaming test suite).
+
+With the default ``fifo`` drain this also reproduces the pre-streaming
+offline engine exactly (the serve-bench digest stayed bit-identical
+through the refactor).  ``level-affinity`` and post-flip ``adaptive``
+schedules are *online* decisions — a shard picks among the batches
+admitted by its decision instant, where the old route-everything-first
+engine saw the full final queue — so their drain order can differ from
+the historical one (the switch-reduction and fairness properties are
+what the tests pin, not the exact schedule).
+
+Per batch the loop
 
 1. resolves the batch's operating point — every member shares a V/F
-   level and a feasible pattern sparsity (that is the batcher's
+   level and a feasible pattern sparsity (that is the admission queue's
    compatibility key) — via the side-effect-free
    :meth:`~repro.core.runtime_policy.RuntimeAdapter.plan`, charged
    against the *target shard's* installed-pattern state, so each
@@ -38,130 +52,16 @@ bench compares against.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence
 
-import numpy as np
-
-from repro.core.runtime_policy import AdaptationEvent, RuntimeAdapter
+from repro.core.runtime_policy import RuntimeAdapter
 from repro.hardware.dvfs import DVFSTable, VFLevel
-from repro.hardware.latency import SparsityKind
-from repro.serve.batcher import (
-    InferenceRequest,
-    MicroBatcher,
-    RequestResult,
-    run_padded,
-)
-from repro.serve.cache import ArtifactCache, CacheStats
-from repro.serve.sharding import (
-    DRAIN_POLICIES,
-    POLICIES,
-    DeviceShard,
-    Dispatcher,
-    QueuedBatch,
-    ShardStats,
-)
+from repro.serve.batcher import InferenceRequest, MicroBatcher
+from repro.serve.cache import ArtifactCache
+from repro.serve.sharding import DRAIN_POLICIES, POLICIES
+from repro.serve.streaming import ServeReport, StreamingEngine
 
-
-@dataclass
-class ServeReport:
-    """Aggregate outcome of one serving run."""
-
-    results: List[RequestResult] = field(default_factory=list)
-    events: List[AdaptationEvent] = field(default_factory=list)
-    wall_seconds: float = 0.0
-    cache_stats: Optional[CacheStats] = None
-    max_verify_error: Optional[float] = None
-    shard_stats: List[ShardStats] = field(default_factory=list)
-    policy: str = "round-robin"
-    time_sliced: bool = True
-
-    # -- request-level aggregates --------------------------------------
-    @property
-    def num_requests(self) -> int:
-        return len(self.results)
-
-    @property
-    def num_batches(self) -> int:
-        return len(self.events)
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.num_requests / self.num_batches if self.num_batches else 0.0
-
-    @property
-    def throughput_rps(self) -> float:
-        """Measured wall-clock requests/second of the Python hot path."""
-        return self.num_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
-
-    @property
-    def sim_makespan_s(self) -> float:
-        return max((r.completion_s for r in self.results), default=0.0)
-
-    @property
-    def sim_throughput_rps(self) -> float:
-        """Requests/second on the simulated device timeline."""
-        span = self.sim_makespan_s
-        return self.num_requests / span if span > 0 else 0.0
-
-    @property
-    def devices(self) -> int:
-        return max(1, len(self.shard_stats))
-
-    def latency_percentile(self, q: float) -> float:
-        if not self.results:
-            return 0.0
-        return float(np.percentile([r.latency_s for r in self.results], q))
-
-    @property
-    def p50_latency_s(self) -> float:
-        return self.latency_percentile(50.0)
-
-    @property
-    def p95_latency_s(self) -> float:
-        return self.latency_percentile(95.0)
-
-    @property
-    def deadline_hit_rate(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(1 for r in self.results if r.met_deadline) / len(self.results)
-
-    @property
-    def num_switches(self) -> int:
-        return sum(1 for e in self.events if e.switched)
-
-    @property
-    def violations(self) -> int:
-        """Batches whose compute deadline no pattern set could meet."""
-        return sum(1 for e in self.events if e.chosen_sparsity is None)
-
-    def summary(self) -> dict:
-        """Machine-readable digest (consumed by the bench JSON output)."""
-        out = {
-            "requests": self.num_requests,
-            "batches": self.num_batches,
-            "mean_batch_size": self.mean_batch_size,
-            "throughput_rps": self.throughput_rps,
-            "sim_throughput_rps": self.sim_throughput_rps,
-            "p50_latency_ms": 1e3 * self.p50_latency_s,
-            "p95_latency_ms": 1e3 * self.p95_latency_s,
-            "deadline_hit_rate": self.deadline_hit_rate,
-            "switches": self.num_switches,
-            "violations": self.violations,
-            "wall_seconds": self.wall_seconds,
-            "devices": self.devices,
-            "policy": self.policy,
-            "time_sliced": self.time_sliced,
-        }
-        if self.shard_stats:
-            makespan = self.sim_makespan_s
-            out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
-        if self.cache_stats is not None:
-            out["cache"] = self.cache_stats.as_dict()
-        if self.max_verify_error is not None:
-            out["max_verify_error"] = self.max_verify_error
-        return out
+__all__ = ["ServeEngine", "ServeReport"]
 
 
 class ServeEngine:
@@ -176,9 +76,17 @@ class ServeEngine:
     ``drain_policy``/``fairness_window`` pick each shard's queue drain
     order (``fifo`` reproduces the serial engine's schedule exactly,
     ``level-affinity`` serves V/F levels run-to-run to amortize pattern
-    residency).  ``verify`` re-runs every batch member individually and
-    records the worst absolute deviation — the padding-exactness
-    guarantee, at roughly double the compute.
+    residency, ``adaptive`` lets each shard flip itself from fifo to
+    level-affinity when its observed switch rate over
+    ``adaptive_window`` batches reaches ``adaptive_threshold``).
+    ``verify`` re-runs every batch member individually and records the
+    worst absolute deviation — the padding-exactness guarantee, at
+    roughly double the compute.
+
+    Devices persist across ``serve`` calls: a shard keeps its installed
+    pattern set between traces, so a follow-up run is never re-charged
+    the cold-start install.  :meth:`streaming` hands out the underlying
+    online engine for callers that want to feed arrivals incrementally.
     """
 
     def __init__(self, model, adapter: RuntimeAdapter, *, max_batch: int = 8,
@@ -187,12 +95,21 @@ class ServeEngine:
                  verify: bool = False, reinstall_per_batch: bool = True,
                  devices: int = 1, policy: str = "round-robin",
                  time_sliced: bool = True, prewarm: bool = False,
-                 drain_policy: str = "fifo", fairness_window: int = 4) -> None:
+                 drain_policy: str = "fifo", fairness_window: int = 4,
+                 adaptive_window: int = 8,
+                 adaptive_threshold: float = 0.5) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if drain_policy not in DRAIN_POLICIES:
             raise ValueError(f"unknown drain policy {drain_policy!r}; "
                              f"options: {list(DRAIN_POLICIES)}")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {policy!r}; options: {list(POLICIES)}")
+        if adaptive_window < 1:
+            raise ValueError("adaptive_window must be at least 1")
+        if not 0.0 < adaptive_threshold <= 1.0:
+            raise ValueError("adaptive_threshold must be in (0, 1]")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -212,32 +129,20 @@ class ServeEngine:
         self.policy = policy
         self.drain_policy = drain_policy
         self.fairness_window = fairness_window
+        self.adaptive_window = adaptive_window
+        self.adaptive_threshold = adaptive_threshold
         self.time_sliced = time_sliced
         # ``prewarm=True`` models deploy-time provisioning: each device
         # starts with the pattern set of its first routed batch already
         # resident (installed before traffic, so not charged to the
-        # serving timeline).  Only *run-time reconfiguration* switches are
-        # billed then, which is the paper's deployment story — the
-        # searched pattern sets ship with the model.  Default False keeps
-        # the historical cold-start accounting.
+        # serving timeline).  Default False keeps cold-start accounting.
         self.prewarm = prewarm
-        # installed pattern set per device, surviving across serve() calls:
-        # a device keeps its masks between traces, so a follow-up run must
-        # not re-charge the cold-start install
+        # installed pattern set per device, surviving across serve() calls
         self._device_state: Dict[int, Optional[float]] = {}
-        if policy not in POLICIES:
-            raise ValueError(
-                f"unknown dispatch policy {policy!r}; options: {list(POLICIES)}")
-        self.ladder: Dict[float, object] = dict(adapter.candidates)
-        self.fallback_sparsity: float = adapter.candidates[-1][0]
-        # per-rung simulated pattern-swap cost, fed to switch-aware routing
-        # so a candidate placement is charged for the swap it would trigger
-        self._switch_cost_s: Dict[float, float] = {
-            sparsity: adapter.reconfigurator.pattern_switch(
-                adapter.workload, len(pset),
-                adapter.hardware_pattern_size).seconds
-            for sparsity, pset in self.ladder.items()}
-        self.batcher = MicroBatcher(max_batch, window_s, key_fn=self._compat_key)
+        # kept for offline trace grouping / introspection; the streaming
+        # core owns admission during an actual serve
+        self.batcher = MicroBatcher(max_batch, window_s,
+                                    key_fn=self._compat_key)
 
     # ------------------------------------------------------------------
     def _level(self, name: str) -> VFLevel:
@@ -249,167 +154,43 @@ class ServeEngine:
         sparsity = self.adapter.feasible_sparsity(level, request.deadline_s)
         return (request.level_name, sparsity)
 
-    # ------------------------------------------------------------------
-    def _route_all(self, groups: Sequence[List[InferenceRequest]]
-                   ) -> List[DeviceShard]:
-        """Phase 1: assign every micro-batch to a simulated device."""
-        shards = [DeviceShard(i, drain_policy=self.drain_policy,
-                              fairness_window=self.fairness_window)
-                  for i in range(self.devices)]
-        for shard in shards:
-            # a device resumes with whatever it had installed last run; a
-            # device this engine never used starts from the adapter's own
-            # installed state (deploy-time provisioning is shared — every
-            # replica ships with the masks installed before serving began)
-            shard.active_sparsity = self._device_state.get(
-                shard.shard_id, self.adapter.active_sparsity)
-            shard.expected_sparsity = shard.active_sparsity
-        dispatcher = Dispatcher(self.policy, switch_cost_s=self._switch_cost_s)
-        for seq, group in enumerate(groups):
-            level = self._level(group[0].level_name)
-            sparsity = self.adapter.feasible_sparsity(
-                level, min(r.deadline_s for r in group))
-            est = self.adapter.latency.batch_latency_s(
-                self.adapter.workload, level, len(group),
-                sparsity if sparsity is not None else self.fallback_sparsity,
-                SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
-            # Dispatch time: a full batch leaves when its last member
-            # arrives; a partial batch waits out the batching window from
-            # its first member (the online batcher cannot know no more
-            # compatible requests are coming).
-            if len(group) >= self.batcher.max_batch:
-                ready = max(r.arrival_s for r in group)
-            else:
-                ready = group[0].arrival_s + self.batcher.window_s
-            dispatcher.route(
-                QueuedBatch(seq, list(group), level.name, ready, est,
-                            sparsity=sparsity), shards)
-        return shards
+    def streaming(self, *, max_wait_s: Optional[float] = None,
+                  verify: Optional[bool] = None) -> StreamingEngine:
+        """A live online session sharing this engine's model and devices.
 
-    def _resolve_operating_point(self, shard: DeviceShard, level: VFLevel,
-                                 qb: QueuedBatch
-                                 ) -> Tuple[AdaptationEvent, float, float, bool]:
-        """Adaptation decision against the shard's own installed state.
-
-        Returns ``(event, effective_sparsity, switch_seconds, installed)``
-        where ``switch_seconds`` is the total reconfiguration cost this
-        batch pays on its device (planned switch and/or cold-start
-        fallback) and ``installed`` says whether the device physically
-        installed a pattern set for this batch (for per-shard switch
-        accounting — the fallback install is not an adapter switch, but
-        it is a device one).
+        The session starts from the engine's current per-device installed
+        state; it does *not* sync back (the offline wrapper owns that
+        lifecycle — an online caller keeps its session for the duration).
         """
-        event = self.adapter.plan(level,
-                                  min(r.deadline_s for r in qb.requests),
-                                  shard.active_sparsity, chosen=qb.sparsity)
-        effective = event.chosen_sparsity
-        switch_s = event.switch.seconds if event.switch is not None else 0.0
-        installed = event.switched
-        if effective is None:
-            # Infeasible deadline: keep whatever this device has installed
-            # (no phantom swap).  Only when nothing is installed yet fall
-            # back to the sparsest set — a real switch, charged as one.
-            if shard.active_sparsity is not None:
-                effective = shard.active_sparsity
-            else:
-                effective = self.fallback_sparsity
-                pset = self.ladder[effective]
-                stats = self.adapter.reconfigurator.pattern_switch(
-                    self.adapter.workload, len(pset),
-                    self.adapter.hardware_pattern_size)
-                switch_s += stats.seconds
-                installed = True
-        shard.active_sparsity = effective
-        return event, effective, switch_s, installed
+        return StreamingEngine(
+            self.model, self.adapter,
+            max_batch=self.batcher.max_batch,
+            max_wait_s=(self.batcher.window_s if max_wait_s is None
+                        else max_wait_s),
+            cache=self.cache, pad_id=self.pad_id, dvfs=self.dvfs,
+            verify=self.verify if verify is None else verify,
+            reinstall_per_batch=self.reinstall_per_batch,
+            devices=self.devices, policy=self.policy,
+            time_sliced=self.time_sliced, prewarm=self.prewarm,
+            drain_policy=self.drain_policy,
+            fairness_window=self.fairness_window,
+            adaptive_window=self.adaptive_window,
+            adaptive_threshold=self.adaptive_threshold,
+            initial_device_state=dict(self._device_state))
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
-        report = ServeReport(cache_stats=None, policy=self.policy,
-                             time_sliced=self.time_sliced)
-        cache_start = (self.cache.stats.snapshot()
-                       if self.cache is not None else None)
-        # the measured hot path covers batching + routing + per-batch work
+        """Serve a whole trace: submit everything, drain the event loop."""
+        # session construction (switch-cost table, shard setup) happens
+        # outside the measured window, like the old engine's __init__ did
+        core = self.streaming()
         start_wall = time.perf_counter()
-        shards = self._route_all(self.batcher.batches(requests))
-        if self.prewarm:
-            for shard in shards:
-                heads = [q[0] for q in shard.queues.values() if q]
-                if not heads or shard.active_sparsity is not None:
-                    continue
-                first = min(heads, key=lambda b: b.seq)
-                sparsity = self.adapter.feasible_sparsity(
-                    self._level(first.level_name),
-                    min(r.deadline_s for r in first.requests))
-                if sparsity is not None:
-                    shard.active_sparsity = sparsity
-        manager = self.adapter.manager
-        events: List[Tuple[int, AdaptationEvent]] = []
-        worst_err = 0.0
-        verify_wall = 0.0
-        last_effective: Optional[float] = None
-        # Phase 2: each shard drains its per-level queues on its own clock.
-        # Shards share one model, so masks are (re)installed per batch —
-        # with the artifact cache this is a lookup, and it is what keeps
-        # sharded outputs exactly equal to per-request outputs.
-        for shard in shards:
-            for qb in shard.drain():
-                group = qb.requests
-                level = self._level(qb.level_name)
-                event, effective, switch_s, installed = \
-                    self._resolve_operating_point(shard, level, qb)
-                pset = self.ladder[effective]
-                if manager is not None and (self.reinstall_per_batch
-                                            or manager.active_set is not pset):
-                    manager.apply(pset)
-                last_effective = effective
-                outputs = run_padded(self.model, group, self.pad_id)
-                if self.verify:
-                    # excluded from the timed hot path: doubles the compute
-                    verify_start = time.perf_counter()
-                    for req, out in zip(group, outputs):
-                        solo = run_padded(self.model, [req], self.pad_id)[0]
-                        worst_err = max(worst_err,
-                                        float(np.abs(out - solo).max()))
-                    verify_wall += time.perf_counter() - verify_start
-
-                offsets = self.adapter.latency.batch_completion_offsets_s(
-                    self.adapter.workload, level, len(group), effective,
-                    SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
-                service = switch_s + offsets[-1]
-                begin = max(shard.clock_s, qb.ready_s)
-                completion = begin + service
-                shard.record(qb, service, completion, installed)
-                for i, (req, out) in enumerate(zip(group, outputs)):
-                    member_service = (switch_s + offsets[i]
-                                      if self.time_sliced else service)
-                    report.results.append(RequestResult(
-                        request=req, output=out, batch_id=qb.seq,
-                        batch_size=len(group),
-                        queue_wait_s=begin - req.arrival_s,
-                        service_s=member_service,
-                        completion_s=begin + member_service,
-                        sparsity=effective, shard_id=shard.shard_id))
-                events.append((qb.seq, event))
-        report.wall_seconds = time.perf_counter() - start_wall - verify_wall
-        self._device_state = {s.shard_id: s.active_sparsity for s in shards}
-        # keep the shared adapter's view in sync with the masks that ended
-        # up installed on the model (the last executed batch), so code
-        # mixing engine serving with direct adapter.adapt calls never
-        # charges a switch for a pattern set that is already resident
-        if last_effective is not None:
-            self.adapter.active_sparsity = last_effective
-        # deterministic report order regardless of shard interleaving
-        report.results.sort(key=lambda r: (r.batch_id, r.request.req_id))
-        report.events = [e for _, e in sorted(events, key=lambda t: t[0])]
-        report.shard_stats = [s.stats for s in shards]
-        if self.cache is not None:
-            # delta over this run only: the engine can serve many traces,
-            # and each report describes its own run, not the lifetime
-            end = self.cache.stats
-            report.cache_stats = CacheStats(
-                hits=end.hits - cache_start.hits,
-                misses=end.misses - cache_start.misses,
-                evictions=end.evictions - cache_start.evictions,
-                invalidations=end.invalidations - cache_start.invalidations)
-        if self.verify:
-            report.max_verify_error = worst_err
+        for req in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
+            core.submit(req)
+        core.drain()
+        report = core.report()
+        # the measured hot path covers admission + routing + per-batch
+        # work; verification is excluded (it doubles the compute)
+        report.wall_seconds = (time.perf_counter() - start_wall
+                               - core.verify_wall_s)
+        self._device_state = core.device_state()
         return report

@@ -1,8 +1,14 @@
 """Scenario-driven load generation for the serving engine.
 
-Each scenario emits a deterministic (seeded) trace of
-:class:`~repro.serve.batcher.InferenceRequest` covering a deployment
-story from the paper's run-time reconfiguration argument:
+Each scenario is a *lazy arrival iterator*: a generator emitting a
+deterministic (seeded) stream of
+:class:`~repro.serve.batcher.InferenceRequest` one arrival at a time, so
+an online caller can pull the next request, ``tick`` the streaming loop
+to its arrival, and ``submit`` it — no trace materialized up front.  The
+offline API is a thin wrapper (``build_scenario`` returns
+``list(stream_scenario(...))``), so both views draw the identical
+distribution.  The deployment stories, from the paper's run-time
+reconfiguration argument:
 
 - ``steady``  — a translation-style service: regular arrivals, uniform
   sequence lengths, one V/F level, a comfortable deadline.  The cache
@@ -32,7 +38,7 @@ pattern-set swap (~8.75 ms in the paper's calibration).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -64,14 +70,15 @@ def _tokens(rng: np.random.Generator, length: int, vocab_size: int) -> np.ndarra
 
 
 # ---------------------------------------------------------------------------
-# generators
+# lazy generators (one request per pull; deterministic per seed)
 # ---------------------------------------------------------------------------
 
 def steady_translation(workload: WorkloadProfile, cfg: Optional[ScenarioConfig] = None,
                        latency: Optional[LatencyModel] = None,
                        rate_rps: float = 4000.0,
                        deadline_factor: float = 1.7,
-                       slo_margin_s: float = 0.015) -> List[InferenceRequest]:
+                       slo_margin_s: float = 0.015
+                       ) -> Iterator[InferenceRequest]:
     """Regular arrivals at one operating point (translation service)."""
     cfg = cfg or ScenarioConfig()
     latency = latency or LatencyModel()
@@ -79,52 +86,54 @@ def steady_translation(workload: WorkloadProfile, cfg: Optional[ScenarioConfig] 
     level = DVFSTable()["l6"]
     deadline = deadline_factor * _dense_latency(workload, level, latency)
     gap = 1.0 / rate_rps
-    out = []
     t = 0.0
     for i in range(cfg.num_requests):
         t += gap * float(rng.uniform(0.8, 1.2))
         length = int(rng.integers(max(2, cfg.seq_len - 2), cfg.seq_len + 1))
-        out.append(InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
-                                    arrival_s=t, deadline_s=deadline,
-                                    level_name=level.name,
-                                    slo_s=deadline + slo_margin_s))
-    return out
+        yield InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
+                               arrival_s=t, deadline_s=deadline,
+                               level_name=level.name,
+                               slo_s=deadline + slo_margin_s)
 
 
 def bursty_interactive(workload: WorkloadProfile, cfg: Optional[ScenarioConfig] = None,
                        latency: Optional[LatencyModel] = None,
                        burst_size: int = 8, burst_gap_s: float = 0.5,
                        deadline_factors: Sequence[float] = (1.7, 1.2),
-                       slo_margin_s: float = 0.02) -> List[InferenceRequest]:
+                       slo_margin_s: float = 0.02,
+                       spread_s: float = 2e-4) -> Iterator[InferenceRequest]:
     """Bursts of near-simultaneous arrivals with alternating tightness.
 
     Successive bursts cycle through ``deadline_factors`` (and V/F
     levels), so the adapter lands on a *different* rung of the sparsity
     ladder per burst — repeated pattern-set swaps that revisit earlier
     sets, which is exactly the access pattern the artifact cache serves.
+    ``spread_s`` bounds the arrival jitter inside one burst (near-zero by
+    default; the streaming bench widens it so the admission window has
+    something to trade).
     """
     cfg = cfg or ScenarioConfig()
     latency = latency or LatencyModel()
     rng = np.random.default_rng(cfg.seed)
     table = DVFSTable()
     levels = [table["l6"], table["l4"]]
-    out: List[InferenceRequest] = []
     t = 0.0
     burst = 0
-    while len(out) < cfg.num_requests:
+    emitted = 0
+    while emitted < cfg.num_requests:
         level = levels[burst % len(levels)]
         factor = deadline_factors[burst % len(deadline_factors)]
         deadline = factor * _dense_latency(workload, level, latency)
-        for _ in range(min(burst_size, cfg.num_requests - len(out))):
-            t += float(rng.uniform(0.0, 2e-4))  # near-simultaneous arrivals
+        for _ in range(min(burst_size, cfg.num_requests - emitted)):
+            t += float(rng.uniform(0.0, spread_s))
             length = int(rng.integers(2, cfg.max_len + 1))
-            out.append(InferenceRequest(len(out), _tokens(rng, length, cfg.vocab_size),
-                                        arrival_s=t, deadline_s=deadline,
-                                        level_name=level.name,
-                                        slo_s=deadline + slo_margin_s))
+            yield InferenceRequest(emitted, _tokens(rng, length, cfg.vocab_size),
+                                   arrival_s=t, deadline_s=deadline,
+                                   level_name=level.name,
+                                   slo_s=deadline + slo_margin_s)
+            emitted += 1
         t += burst_gap_s
         burst += 1
-    return out
 
 
 def battery_drain_longtail(workload: WorkloadProfile,
@@ -133,7 +142,7 @@ def battery_drain_longtail(workload: WorkloadProfile,
                            deadline_factor: float = 1.05,
                            slo_margin_s: float = 0.08,
                            drain_per_request: float = 0.012
-                           ) -> List[InferenceRequest]:
+                           ) -> Iterator[InferenceRequest]:
     """Battery discharge walks the governor down the V/F ladder.
 
     The compute deadline is *fixed* for the whole trace (a multiple of
@@ -150,18 +159,16 @@ def battery_drain_longtail(workload: WorkloadProfile,
     governor = BatteryGovernor(table)
     battery = Battery(budget_j=1.0)
     deadline = deadline_factor * _dense_latency(workload, table["l3"], latency)
-    out = []
     t = 0.0
     for i in range(cfg.num_requests):
         t += float(rng.uniform(5e-3, 2e-2))
         level = governor.level_for(battery.fraction)
         length = min(cfg.max_len, 2 + int(rng.geometric(0.35)))
-        out.append(InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
-                                    arrival_s=t, deadline_s=deadline,
-                                    level_name=level.name,
-                                    slo_s=deadline + slo_margin_s))
+        yield InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
+                               arrival_s=t, deadline_s=deadline,
+                               level_name=level.name,
+                               slo_s=deadline + slo_margin_s)
         battery.draw(min(battery.remaining_j, drain_per_request))
-    return out
 
 
 def bandwidth_fluctuation(workload: WorkloadProfile,
@@ -173,7 +180,8 @@ def bandwidth_fluctuation(workload: WorkloadProfile,
                           noise: float = 0.1,
                           tight_factor: float = 1.05,
                           loose_factor: float = 1.9,
-                          slo_margin_s: float = 0.02) -> List[InferenceRequest]:
+                          slo_margin_s: float = 0.02
+                          ) -> Iterator[InferenceRequest]:
     """The paper's translation example: network bandwidth drives deadlines.
 
     "Local language translation for on-line interactive events with a
@@ -194,7 +202,6 @@ def bandwidth_fluctuation(workload: WorkloadProfile,
     level = DVFSTable()["l6"]
     dense = _dense_latency(workload, level, latency)
     gap = 1.0 / rate_rps
-    out: List[InferenceRequest] = []
     t = 0.0
     for i in range(cfg.num_requests):
         t += gap * float(rng.uniform(0.7, 1.3))
@@ -204,14 +211,13 @@ def bandwidth_fluctuation(workload: WorkloadProfile,
         norm = float(np.clip((bw - (1.0 - amplitude)) / (2.0 * amplitude), 0.0, 1.0))
         deadline = (tight_factor + (loose_factor - tight_factor) * norm) * dense
         length = int(rng.integers(max(2, cfg.seq_len - 3), cfg.seq_len + 1))
-        out.append(InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
-                                    arrival_s=t, deadline_s=deadline,
-                                    level_name=level.name,
-                                    slo_s=deadline + slo_margin_s))
-    return out
+        yield InferenceRequest(i, _tokens(rng, length, cfg.vocab_size),
+                               arrival_s=t, deadline_s=deadline,
+                               level_name=level.name,
+                               slo_s=deadline + slo_margin_s)
 
 
-SCENARIOS: Dict[str, Callable[..., List[InferenceRequest]]] = {
+SCENARIOS: Dict[str, Callable[..., Iterator[InferenceRequest]]] = {
     "steady": steady_translation,
     "bursty": bursty_interactive,
     "battery": battery_drain_longtail,
@@ -219,14 +225,23 @@ SCENARIOS: Dict[str, Callable[..., List[InferenceRequest]]] = {
 }
 
 
-def build_scenario(name: str, workload: WorkloadProfile,
-                   cfg: Optional[ScenarioConfig] = None,
-                   latency: Optional[LatencyModel] = None,
-                   **kwargs) -> List[InferenceRequest]:
-    """Build a named traffic trace; unknown names raise with the options."""
+def stream_scenario(name: str, workload: WorkloadProfile,
+                    cfg: Optional[ScenarioConfig] = None,
+                    latency: Optional[LatencyModel] = None,
+                    **kwargs) -> Iterator[InferenceRequest]:
+    """Lazily stream a named traffic scenario, one arrival at a time."""
     try:
         gen = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}") from None
     return gen(workload, cfg=cfg, latency=latency, **kwargs)
+
+
+def build_scenario(name: str, workload: WorkloadProfile,
+                   cfg: Optional[ScenarioConfig] = None,
+                   latency: Optional[LatencyModel] = None,
+                   **kwargs) -> List[InferenceRequest]:
+    """Materialize a named traffic trace (offline view of the stream)."""
+    return list(stream_scenario(name, workload, cfg=cfg, latency=latency,
+                                **kwargs))

@@ -11,9 +11,15 @@ simulated devices.  Each :class:`DeviceShard` owns
   switches are a *per-device* cost, so each shard pays for its own swaps
   independently of what its neighbours have installed.
 
-Routing is a two-phase simulation: the :class:`Dispatcher` first assigns
-every micro-batch to a shard, then each shard drains its queues on its
-own timeline.  Both phases know about reconfiguration:
+Shards are *event-driven*: the streaming loop (not a one-pass drain)
+owns the timeline.  A shard advertises when it can next act
+(:meth:`DeviceShard.next_event_s` — it is idle and a queued batch is
+ready) and the loop pops its next batch (:meth:`DeviceShard.pop_next`)
+at that instant, so per-device clocks advance interleaved with
+admissions instead of each shard being drained to exhaustion.  The
+legacy :meth:`DeviceShard.drain` generator is a thin wrapper (reset the
+policy state, pop until empty) kept for full-queue use and tests.  Both
+routing and draining know about reconfiguration:
 
 - **drain policies** — ``fifo`` follows the global flush order (min
   ``seq`` across queue heads; a one-shard engine reproduces the serial
@@ -23,13 +29,22 @@ own timeline.  Both phases know about reconfiguration:
   bursts stop re-switching per batch.  A ``fairness_window`` bounds each
   run — after that many consecutive batches from one level while another
   level has queued work, the drain rotates to the level with the oldest
-  waiting head, so no level starves under saturation.
+  waiting head, so no level starves under saturation.  ``adaptive``
+  starts out ``fifo`` and flips itself to ``level-affinity`` when the
+  shard's observed pattern-switch rate over a sliding window of executed
+  batches crosses a threshold — a mixed fleet tunes itself per device
+  instead of pinning one policy engine-wide.
 - **dispatch policies** — ``round-robin`` and ``least-loaded`` as before,
   plus ``switch-aware``: least-loaded's backlog estimate *plus the cost
   of the pattern swap this placement would trigger* on each candidate
   shard, so batches gravitate to devices that already hold their pattern
   set and reconfiguration traffic concentrates instead of spraying
-  across the fleet.
+  across the fleet.  Load policies score ``assigned_est_s`` — the
+  cumulative service estimate ever routed to a shard this run — which is
+  independent of how far each shard's execution has progressed, so a
+  routing decision depends only on the admission stream, never on tick
+  granularity (and matches what the old route-everything-first offline
+  engine saw).
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence
 from repro.serve.batcher import InferenceRequest
 
 POLICIES = ("round-robin", "least-loaded", "switch-aware")
-DRAIN_POLICIES = ("fifo", "level-affinity")
+DRAIN_POLICIES = ("fifo", "level-affinity", "adaptive")
 
 
 @dataclass
@@ -71,6 +86,10 @@ class ShardStats:
     busy_s: float = 0.0
     last_completion_s: float = 0.0
     switches: int = 0
+    # adaptive drain: how often the shard re-picked its own policy (0 or 1
+    # today — the flip to level-affinity is one-way) and what it ended on
+    policy_flips: int = 0
+    drain_policy: str = "fifo"
 
     @property
     def service_throughput_rps(self) -> float:
@@ -88,6 +107,8 @@ class ShardStats:
             "busy_s": self.busy_s,
             "last_completion_s": self.last_completion_s,
             "switches": self.switches,
+            "policy_flips": self.policy_flips,
+            "drain_policy": self.drain_policy,
             "service_throughput_rps": self.service_throughput_rps,
             "utilization": self.utilization(makespan_s),
         }
@@ -96,8 +117,9 @@ class ShardStats:
 class DeviceShard:
     """One simulated device: per-V/F-level queues plus its own timeline.
 
-    ``enqueue`` files a batch under its V/F level; ``drain`` yields the
-    queued batches according to ``drain_policy``:
+    ``enqueue`` files a batch under its V/F level; the event loop asks
+    :meth:`next_event_s` when the shard can next start a batch and
+    :meth:`pop_next` for which one, according to ``drain_policy``:
 
     - ``fifo`` — global flush order (min ``seq`` across queue heads; each
       per-level queue is FIFO, so this is a stable merge);
@@ -105,7 +127,16 @@ class DeviceShard:
       batches, rotating to the oldest-waiting other level after
       ``fairness_window`` consecutive batches once another level is
       waiting.  Level runs amortize the pattern set resident for that
-      level across the whole run.
+      level across the whole run;
+    - ``adaptive`` — behave as ``fifo`` until the observed pattern-switch
+      rate over the last ``adaptive_window`` executed batches reaches
+      ``adaptive_threshold``, then flip (one-way) to ``level-affinity``.
+      A shard fed steady single-rung traffic keeps FIFO's exact global
+      order; a shard hammered by rung-alternating bursts starts
+      amortizing pattern residency on its own.
+
+    The affinity run state persists across pops, so incremental
+    event-loop use and a one-shot :meth:`drain` walk the same policy.
 
     The shard's installed-pattern state (``active_sparsity``) is updated
     by the engine as it executes, because a pattern swap happens on
@@ -116,26 +147,59 @@ class DeviceShard:
     """
 
     def __init__(self, shard_id: int, drain_policy: str = "fifo",
-                 fairness_window: int = 4) -> None:
+                 fairness_window: int = 4, adaptive_window: int = 8,
+                 adaptive_threshold: float = 0.5) -> None:
         if drain_policy not in DRAIN_POLICIES:
             raise ValueError(f"unknown drain policy {drain_policy!r}; "
                              f"options: {list(DRAIN_POLICIES)}")
         if fairness_window < 1:
             raise ValueError("fairness_window must be at least 1")
+        if adaptive_window < 1:
+            raise ValueError("adaptive_window must be at least 1")
+        if not 0.0 < adaptive_threshold <= 1.0:
+            raise ValueError("adaptive_threshold must be in (0, 1]")
         self.shard_id = shard_id
         self.drain_policy = drain_policy
         self.fairness_window = fairness_window
+        self.adaptive_window = adaptive_window
+        self.adaptive_threshold = adaptive_threshold
         self.queues: Dict[str, Deque[QueuedBatch]] = {}
         self.clock_s = 0.0
-        self.pending_s = 0.0  # estimated backlog, maintained by routing/drain
+        # estimated not-yet-executed backlog — introspection only; routing
+        # scores the cumulative assigned_est_s below, never this
+        self.pending_s = 0.0
+        # cumulative service estimate ever routed here (never decremented):
+        # the dispatcher's load signal, independent of execution progress
+        self.assigned_est_s = 0.0
         self.active_sparsity: Optional[float] = None
         self.expected_sparsity: Optional[float] = None
-        self.stats = ShardStats(shard_id)
+        self.stats = ShardStats(shard_id, drain_policy=self._base_policy())
+        # persistent drain-policy state (level-affinity run tracking)
+        self._current_level: Optional[str] = None
+        self._run = 0
+        # adaptive drain: sliding window of per-batch device-switch flags
+        self._switch_history: Deque[bool] = deque(maxlen=adaptive_window)
+
+    def _base_policy(self) -> str:
+        return "fifo" if self.drain_policy == "adaptive" else self.drain_policy
+
+    @property
+    def effective_drain_policy(self) -> str:
+        """The policy in force right now (adaptive shards re-pick theirs)."""
+        return self.stats.drain_policy
+
+    @property
+    def switch_rate(self) -> float:
+        """Fraction of recently executed batches that swapped pattern sets."""
+        if not self._switch_history:
+            return 0.0
+        return sum(self._switch_history) / len(self._switch_history)
 
     # -- queueing ------------------------------------------------------
     def enqueue(self, batch: QueuedBatch) -> None:
         self.queues.setdefault(batch.level_name, deque()).append(batch)
         self.pending_s += batch.est_service_s
+        self.assigned_est_s += batch.est_service_s
         if batch.sparsity is not None:
             self.expected_sparsity = batch.sparsity
 
@@ -149,29 +213,54 @@ class DeviceShard:
                  if q and name != exclude]
         return min(heads)[1] if heads else None
 
+    # -- event-driven interface (driven by the streaming loop) ---------
+    def next_event_s(self) -> Optional[float]:
+        """Earliest simulated time this shard can start its next batch.
+
+        ``None`` when nothing is queued; otherwise the device is free at
+        ``clock_s`` and some queued batch is dispatchable at its
+        ``ready_s``, so the shard can act at the max of its clock and the
+        earliest ready time.  (The batch the policy then picks may carry
+        a later ``ready_s`` — the begin time still honours it.)
+        """
+        if not any(self.queues.values()):
+            return None
+        earliest = min(q[0].ready_s for q in self.queues.values() if q)
+        return max(self.clock_s, earliest)
+
+    def pop_next(self) -> Optional[QueuedBatch]:
+        """Pop the next batch per the drain policy (None when empty)."""
+        if self.effective_drain_policy == "fifo":
+            self._current_level = self._oldest_head()
+            self._run = 0
+        else:  # level-affinity
+            current = self._current_level
+            others_waiting = any(q for name, q in self.queues.items()
+                                 if name != current and q)
+            stay = (current is not None
+                    and self.queues.get(current)
+                    and not (others_waiting
+                             and self._run >= self.fairness_window))
+            if not stay:
+                nxt = self._oldest_head(exclude=current)
+                self._current_level = (nxt if nxt is not None
+                                       else self._oldest_head())
+                self._run = 0
+        if self._current_level is None:
+            return None
+        batch = self.queues[self._current_level].popleft()
+        self._run += 1
+        self.pending_s = max(0.0, self.pending_s - batch.est_service_s)
+        return batch
+
     def drain(self) -> Iterator[QueuedBatch]:
-        """Yield queued batches according to the drain policy."""
-        current: Optional[str] = None
-        run = 0
+        """Yield all queued batches per the drain policy (full-queue walk)."""
+        self._current_level = None
+        self._run = 0
         while True:
-            if self.drain_policy == "fifo":
-                current = self._oldest_head()
-            else:  # level-affinity
-                others_waiting = any(q for name, q in self.queues.items()
-                                     if name != current and q)
-                stay = (current is not None
-                        and self.queues.get(current)
-                        and not (others_waiting
-                                 and run >= self.fairness_window))
-                if not stay:
-                    nxt = self._oldest_head(exclude=current)
-                    current = nxt if nxt is not None else self._oldest_head()
-                    run = 0
-            if current is None:
+            batch = self.pop_next()
+            if batch is None:
                 return
-            batch = self.queues[current].popleft()
-            run += 1
-            self.pending_s = max(0.0, self.pending_s - batch.est_service_s)
             yield batch
 
     # -- execution accounting (called by the engine) -------------------
@@ -184,6 +273,16 @@ class DeviceShard:
         self.stats.last_completion_s = completion_s
         if switched:
             self.stats.switches += 1
+        self._switch_history.append(switched)
+        if (self.drain_policy == "adaptive"
+                and self.stats.drain_policy == "fifo"
+                and len(self._switch_history) >= self.adaptive_window
+                and self.switch_rate >= self.adaptive_threshold):
+            # enough evidence of rung-thrashing: amortize pattern
+            # residency from here on (one-way — the history that
+            # triggered the flip shrinks once affinity batches levels)
+            self.stats.drain_policy = "level-affinity"
+            self.stats.policy_flips += 1
 
 
 @dataclass
@@ -192,16 +291,21 @@ class Dispatcher:
 
     - ``round-robin``   — batch ``seq`` goes to shard ``seq % N``; ignores
       load, so heterogeneous batch costs can pile onto one device.
-    - ``least-loaded``  — the shard with the smallest estimated backlog
-      (sum of the analytic service estimates of the batches already
-      assigned to it); ties break toward the lowest shard id, keeping the
-      assignment deterministic.
-    - ``switch-aware``  — least-loaded's backlog *plus* the simulated
-      pattern-swap cost this placement would trigger: a candidate shard
-      whose ``expected_sparsity`` differs from the batch's resolved
-      sparsity is charged ``switch_cost_s[sparsity]`` seconds.  Batches
-      therefore prefer devices already holding their pattern set, and a
-      swap is only taken when the load imbalance outweighs it.
+    - ``least-loaded``  — the shard with the smallest cumulative load
+      estimate (``assigned_est_s``: the sum of the analytic service
+      estimates of every batch already assigned to it this run); ties
+      break toward the lowest shard id, keeping the assignment
+      deterministic.  Scoring cumulative assignments rather than the
+      live backlog makes every placement a pure function of the
+      admission stream — the same trace routes identically whether it is
+      replayed offline or ticked through the streaming loop.
+    - ``switch-aware``  — least-loaded's load estimate *plus* the
+      simulated pattern-swap cost this placement would trigger: a
+      candidate shard whose ``expected_sparsity`` differs from the
+      batch's resolved sparsity is charged ``switch_cost_s[sparsity]``
+      seconds.  Batches therefore prefer devices already holding their
+      pattern set, and a swap is only taken when the load imbalance
+      outweighs it.
     """
 
     policy: str = "round-robin"
@@ -216,8 +320,8 @@ class Dispatcher:
                 f"unknown dispatch policy {self.policy!r}; options: {list(POLICIES)}")
 
     def _placement_cost(self, batch: QueuedBatch, shard: DeviceShard) -> float:
-        """Estimated seconds until ``shard`` would finish ``batch``."""
-        cost = shard.pending_s
+        """Estimated cost of assigning ``batch`` to ``shard``."""
+        cost = shard.assigned_est_s
         if (batch.sparsity is not None
                 and batch.sparsity != shard.expected_sparsity):
             cost += self.switch_cost_s.get(batch.sparsity, 0.0)
@@ -230,7 +334,7 @@ class Dispatcher:
         if self.policy == "round-robin":
             shard = shards[self.routed % len(shards)]
         elif self.policy == "least-loaded":
-            shard = min(shards, key=lambda s: (s.pending_s, s.shard_id))
+            shard = min(shards, key=lambda s: (s.assigned_est_s, s.shard_id))
         else:  # switch-aware
             shard = min(shards,
                         key=lambda s: (self._placement_cost(batch, s),

@@ -9,7 +9,7 @@ drift from the bench that is supposed to mirror it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.hardware.workload import WorkloadProfile, profile_from_model
 from repro.nn.transformer import TransformerConfig, TransformerLM
 from repro.serve.cache import ArtifactCache
 from repro.serve.engine import ServeEngine
+from repro.serve.streaming import StreamingEngine
 
 
 @dataclass
@@ -46,11 +47,27 @@ class StackConfig:
     prewarm: bool = False
     drain_policy: str = "fifo"
     fairness_window: int = 4
+    # adaptive drain: per-shard flip to level-affinity once the observed
+    # switch rate over `adaptive_window` batches reaches the threshold
+    adaptive_window: int = 8
+    adaptive_threshold: float = 0.5
+    # streaming=True builds the online StreamingEngine (submit/tick/drain)
+    # instead of the offline trace wrapper; max_wait_s overrides window_s
+    # as its admission window when set
+    streaming: bool = False
+    max_wait_s: Optional[float] = None
 
 
 def build_serving_stack(cfg: Optional[StackConfig] = None
-                        ) -> Tuple[TransformerLM, WorkloadProfile, ServeEngine]:
-    """Model + workload profile + ready-to-serve engine."""
+                        ) -> Tuple[TransformerLM, WorkloadProfile,
+                                   Union[ServeEngine, StreamingEngine]]:
+    """Model + workload profile + ready-to-serve engine.
+
+    With ``cfg.streaming=True`` the third element is the online
+    :class:`StreamingEngine` session; otherwise the offline
+    :class:`ServeEngine` wrapper (whose :meth:`~ServeEngine.streaming`
+    hands out a session on demand).
+    """
     cfg = cfg or StackConfig()
     model = TransformerLM(TransformerConfig(
         vocab_size=cfg.vocab_size, dim=cfg.dim, num_heads=2,
@@ -69,5 +86,9 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                          devices=cfg.devices, policy=cfg.policy,
                          time_sliced=cfg.time_sliced, prewarm=cfg.prewarm,
                          drain_policy=cfg.drain_policy,
-                         fairness_window=cfg.fairness_window)
+                         fairness_window=cfg.fairness_window,
+                         adaptive_window=cfg.adaptive_window,
+                         adaptive_threshold=cfg.adaptive_threshold)
+    if cfg.streaming:
+        return model, workload, engine.streaming(max_wait_s=cfg.max_wait_s)
     return model, workload, engine

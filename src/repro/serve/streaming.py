@@ -1,0 +1,605 @@
+"""Event-driven streaming serving core: submit / tick / drain.
+
+The paper's whole argument is *run-time* reconfigurability — the device
+reacts to battery, bandwidth and deadline pressure as requests arrive —
+so the serving core is an online admission loop, not a trace compiler.
+:class:`StreamingEngine` maintains one global event heap over simulated
+time with three event kinds:
+
+- **arrival** — a submitted request reaches the admission queue
+  (:class:`~repro.serve.batcher.AdmissionQueue`); compatible requests
+  (same V/F level + feasible pattern sparsity) accumulate in an open
+  micro-batch group;
+- **batch-window close** — an open group's batching window
+  (``max_wait_s`` past its first member) expires and the partial batch
+  is admitted; a group that reaches ``max_batch`` is admitted
+  immediately at the filling arrival instead;
+- **shard ready** — a simulated device is idle and has a dispatchable
+  batch; it picks its next batch per its drain policy
+  (:meth:`~repro.serve.sharding.DeviceShard.pop_next`), the engine
+  resolves the operating point against *that device's* installed
+  pattern state, executes one padded vectorized forward, and advances
+  the device clock by switch cost plus the time-sliced batch service.
+
+Admitted batches are routed at admission time by the
+:class:`~repro.serve.sharding.Dispatcher` — this is where continuous
+batching wins throughput and tail latency: placement happens the moment
+a batch forms, with the load/pattern-residency picture of that instant.
+
+The caller owns the clock: :meth:`submit` files a request (its arrival
+may be now or in the future), :meth:`tick` advances simulated time and
+returns the requests that completed by then, :meth:`drain` runs the
+loop to exhaustion.  The semantics are *tick-granularity independent* —
+any schedule of ``tick`` calls (including none: submit everything and
+``drain``) yields the same admissions, placements and simulated
+timeline for the same arrival stream, which is exactly how the offline
+:meth:`~repro.serve.engine.ServeEngine.serve` wrapper reproduces its
+historical behaviour on top of this loop.
+
+At equal simulated times, arrivals are processed before window closes
+before shard executions (then submission order), so ties are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.runtime_policy import AdaptationEvent, RuntimeAdapter
+from repro.hardware.dvfs import DVFSTable, VFLevel
+from repro.hardware.latency import SparsityKind
+from repro.serve.batcher import (
+    AdmissionQueue,
+    FlushedGroup,
+    InferenceRequest,
+    RequestResult,
+    run_padded,
+)
+from repro.serve.cache import ArtifactCache, CacheStats
+from repro.serve.sharding import (
+    DRAIN_POLICIES,
+    POLICIES,
+    DeviceShard,
+    Dispatcher,
+    QueuedBatch,
+    ShardStats,
+)
+
+# event-kind priorities: at one simulated instant, admissions land before
+# batch windows close before devices pick their next batch
+_ARRIVAL, _WINDOW_CLOSE, _SHARD_READY = 0, 1, 2
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one serving run."""
+
+    results: List[RequestResult] = field(default_factory=list)
+    events: List[AdaptationEvent] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_stats: Optional[CacheStats] = None
+    max_verify_error: Optional[float] = None
+    shard_stats: List[ShardStats] = field(default_factory=list)
+    policy: str = "round-robin"
+    time_sliced: bool = True
+
+    # -- request-level aggregates --------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.events)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Measured wall-clock requests/second of the Python hot path."""
+        return self.num_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def sim_makespan_s(self) -> float:
+        return max((r.completion_s for r in self.results), default=0.0)
+
+    @property
+    def sim_throughput_rps(self) -> float:
+        """Requests/second on the simulated device timeline."""
+        span = self.sim_makespan_s
+        return self.num_requests / span if span > 0 else 0.0
+
+    @property
+    def sim_busy_s(self) -> float:
+        """Total simulated device busy time across all shards."""
+        return sum(s.busy_s for s in self.shard_stats)
+
+    @property
+    def service_throughput_rps(self) -> float:
+        """Requests/second of busy device time — batching efficiency.
+
+        Unlike :attr:`sim_throughput_rps` (bounded by the arrival span
+        under light load), this measures how much work one second of
+        device time buys, which is what a larger admission window trades
+        latency for.
+        """
+        busy = self.sim_busy_s
+        return self.num_requests / busy if busy > 0 else 0.0
+
+    @property
+    def devices(self) -> int:
+        return max(1, len(self.shard_stats))
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.percentile([r.latency_s for r in self.results], q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.met_deadline) / len(self.results)
+
+    @property
+    def num_switches(self) -> int:
+        return sum(1 for e in self.events if e.switched)
+
+    @property
+    def violations(self) -> int:
+        """Batches whose compute deadline no pattern set could meet."""
+        return sum(1 for e in self.events if e.chosen_sparsity is None)
+
+    def summary(self) -> dict:
+        """Machine-readable digest (consumed by the bench JSON output)."""
+        out = {
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "throughput_rps": self.throughput_rps,
+            "sim_throughput_rps": self.sim_throughput_rps,
+            "p50_latency_ms": 1e3 * self.p50_latency_s,
+            "p95_latency_ms": 1e3 * self.p95_latency_s,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "switches": self.num_switches,
+            "violations": self.violations,
+            "wall_seconds": self.wall_seconds,
+            "devices": self.devices,
+            "policy": self.policy,
+            "time_sliced": self.time_sliced,
+        }
+        if self.shard_stats:
+            makespan = self.sim_makespan_s
+            out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
+        if self.cache_stats is not None:
+            out["cache"] = self.cache_stats.as_dict()
+        if self.max_verify_error is not None:
+            out["max_verify_error"] = self.max_verify_error
+        return out
+
+
+class StreamingEngine:
+    """Online admit/tick serving loop over N simulated devices.
+
+    One live serving *session*: simulated time only moves forward, and
+    the engine holds the admission queue, the dispatcher, and the device
+    shards (with their installed-pattern state) for its whole lifetime.
+    ``adapter`` supplies the sparsity ladder, latency model and (via its
+    ``manager``) the mask installation path; ``cache`` memoizes mask
+    derivation and sparse-format conversion across batches.
+
+    ``initial_device_state`` maps shard id → installed sparsity for
+    devices provisioned before this session (a device that served an
+    earlier trace keeps its masks); unlisted shards start from the
+    adapter's own installed state.  ``verify`` re-runs every batch
+    member individually and records the worst absolute deviation —
+    padding exactness at roughly double the compute, excluded from the
+    measured wall time.
+
+    ``retain_results=False`` drops each request's result record (and its
+    output array) once it is handed out by :meth:`tick`/:meth:`drain`,
+    bounding a long-lived session's memory; :meth:`report` then carries
+    only the aggregate shard/event accounting, so per-request latency
+    percentiles must be computed by the caller from the released
+    completions.
+    """
+
+    def __init__(self, model, adapter: RuntimeAdapter, *, max_batch: int = 8,
+                 max_wait_s: float = 0.05, cache: Optional[ArtifactCache] = None,
+                 pad_id: int = 0, dvfs: Optional[DVFSTable] = None,
+                 verify: bool = False, reinstall_per_batch: bool = True,
+                 devices: int = 1, policy: str = "round-robin",
+                 time_sliced: bool = True, prewarm: bool = False,
+                 drain_policy: str = "fifo", fairness_window: int = 4,
+                 adaptive_window: int = 8, adaptive_threshold: float = 0.5,
+                 initial_device_state: Optional[Dict[int, Optional[float]]] = None,
+                 retain_results: bool = True) -> None:
+        if devices < 1:
+            raise ValueError("devices must be at least 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {policy!r}; options: {list(POLICIES)}")
+        if drain_policy not in DRAIN_POLICIES:
+            raise ValueError(f"unknown drain policy {drain_policy!r}; "
+                             f"options: {list(DRAIN_POLICIES)}")
+        if not np.isfinite(max_wait_s) or max_wait_s < 0:
+            raise ValueError("max_wait_s must be finite and non-negative")
+        self.model = model
+        self.adapter = adapter
+        self.cache = cache
+        if cache is not None and adapter.manager is not None:
+            adapter.manager.attach_cache(cache)
+        self.pad_id = pad_id
+        self.dvfs = dvfs or DVFSTable()
+        self.verify = verify
+        self.reinstall_per_batch = reinstall_per_batch
+        self.time_sliced = time_sliced
+        self.prewarm = prewarm
+        self.policy = policy
+        self.ladder: Dict[float, object] = dict(adapter.candidates)
+        self.fallback_sparsity: float = adapter.candidates[-1][0]
+        self._switch_cost_s: Dict[float, float] = {
+            sparsity: adapter.reconfigurator.pattern_switch(
+                adapter.workload, len(pset),
+                adapter.hardware_pattern_size).seconds
+            for sparsity, pset in self.ladder.items()}
+        self.admission = AdmissionQueue(max_batch, max_wait_s,
+                                        key_fn=self._compat_key)
+        self.dispatcher = Dispatcher(policy, switch_cost_s=self._switch_cost_s)
+        self.shards = [DeviceShard(i, drain_policy=drain_policy,
+                                   fairness_window=fairness_window,
+                                   adaptive_window=adaptive_window,
+                                   adaptive_threshold=adaptive_threshold)
+                       for i in range(devices)]
+        state = dict(initial_device_state or {})
+        for shard in self.shards:
+            # a device resumes with whatever it had installed last session;
+            # otherwise it inherits the adapter's provisioning (deploy-time
+            # installs are shared — every replica ships with the masks)
+            shard.active_sparsity = state.get(shard.shard_id,
+                                              adapter.active_sparsity)
+            shard.expected_sparsity = shard.active_sparsity
+        # -- event loop state ------------------------------------------
+        self.retain_results = retain_results
+        self.now_s = 0.0
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._tiebreak = itertools.count()
+        self._seq = 0
+        self._results: List[RequestResult] = []
+        self._pending_done: List[Tuple[float, int, RequestResult]] = []
+        self._events: List[Tuple[int, AdaptationEvent]] = []
+        self._prewarmed: set = set()
+        self._scheduled_ready: Dict[int, float] = {}
+        self._worst_err = 0.0
+        self._verify_wall = 0.0
+        self._wall = 0.0
+        self._cache_start = (cache.stats.snapshot()
+                             if cache is not None else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_batch(self) -> int:
+        return self.admission.max_batch
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.admission.max_wait_s
+
+    @property
+    def verify_wall_s(self) -> float:
+        """Wall seconds spent on verification (excluded from wall_seconds)."""
+        return self._verify_wall
+
+    def _level(self, name: str) -> VFLevel:
+        return self.dvfs[name]
+
+    def _compat_key(self, request: InferenceRequest) -> Hashable:
+        """Requests batch together iff they resolve to one operating point."""
+        level = self._level(request.level_name)
+        sparsity = self.adapter.feasible_sparsity(level, request.deadline_s)
+        return (request.level_name, sparsity)
+
+    def device_state(self) -> Dict[int, Optional[float]]:
+        """Installed sparsity per device (to seed a follow-up session)."""
+        return {s.shard_id: s.active_sparsity for s in self.shards}
+
+    def backlog(self) -> int:
+        """Requests waiting in open groups plus batches queued on devices."""
+        return len(self.admission) + sum(
+            len(b) for s in self.shards for q in s.queues.values() for b in q)
+
+    def next_event_s(self) -> Optional[float]:
+        """Simulated time of the next pending event or completion."""
+        times = []
+        if self._heap:
+            times.append(self._heap[0][0])
+        if self._pending_done:
+            times.append(self._pending_done[0][0])
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # public loop API
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest,
+               arrival_s: Optional[float] = None) -> None:
+        """File one request; it reaches admission at its arrival time.
+
+        ``arrival_s`` overrides the request's own ``arrival_s`` (the
+        request is restamped).  Arrivals may not predate simulated time
+        already ticked past — the loop cannot rewrite history.
+        """
+        start = time.perf_counter()
+        if arrival_s is not None:
+            request.arrival_s = arrival_s
+        if request.arrival_s < self.now_s:
+            raise ValueError(
+                f"request {request.req_id} arrives at {request.arrival_s:.6f}s "
+                f"but the loop already advanced to {self.now_s:.6f}s")
+        heapq.heappush(self._heap, (request.arrival_s, _ARRIVAL,
+                                    next(self._tiebreak), request))
+        self._wall += time.perf_counter() - start
+
+    def tick(self, until_s: float) -> List[RequestResult]:
+        """Advance simulated time to ``until_s``; completions in order.
+
+        Processes every event (arrival, window close, shard execution)
+        due by ``until_s`` and returns the requests whose simulated
+        completion lands at or before it, ordered by completion time.
+
+        Submit every arrival at or before ``until_s`` *before* ticking
+        to it: the heap orders same-instant arrivals ahead of window
+        closes, but a tick cannot wait for arrivals it has not been
+        handed yet — ticking to ``t`` and only then submitting a
+        ``t``-stamped request lets a window deadline at exactly ``t``
+        close first (the loop cannot know more arrivals share the
+        instant).
+        """
+        if until_s < self.now_s:
+            raise ValueError("simulated time must advance monotonically")
+        start = time.perf_counter()
+        self._advance(until_s)
+        self.now_s = max(self.now_s, until_s)
+        out = self._release(until_s)
+        self._wall += time.perf_counter() - start
+        return out
+
+    def drain(self) -> List[RequestResult]:
+        """Run the loop to exhaustion; every remaining completion."""
+        start = time.perf_counter()
+        self._advance(None)
+        out = self._release(float("inf"))
+        self._wall += time.perf_counter() - start
+        return out
+
+    def play(self, requests, *, drain: bool = True) -> List[RequestResult]:
+        """Feed an arrival-ordered request stream through the loop online.
+
+        The one correct feeding discipline, shared by the CLI, the
+        streaming bench and the tests: each request is submitted, and
+        simulated time advances *lagging one arrival behind* — the loop
+        only ticks to an instant once every arrival at that instant has
+        been submitted, so same-instant ties batch exactly as the
+        offline wrapper would (ticking eagerly to each arrival would let
+        a window deadline at that instant close ahead of its same-time
+        peers).  With ``drain=True`` the tail runs to exhaustion.
+        Returns the released completions in completion order.
+        """
+        out: List[RequestResult] = []
+        prev: Optional[float] = None
+        for request in requests:
+            if prev is not None and request.arrival_s > prev:
+                out.extend(self.tick(prev))
+            self.submit(request)
+            prev = request.arrival_s
+        if drain:
+            out.extend(self.drain())
+        return out
+
+    def report(self) -> ServeReport:
+        """Digest of everything executed so far (deterministic order)."""
+        report = ServeReport(policy=self.policy, time_sliced=self.time_sliced)
+        report.results = sorted(self._results,
+                                key=lambda r: (r.batch_id, r.request.req_id))
+        report.events = [e for _, e in sorted(self._events,
+                                              key=lambda t: t[0])]
+        report.shard_stats = [s.stats for s in self.shards]
+        report.wall_seconds = max(0.0, self._wall - self._verify_wall)
+        if self.cache is not None:
+            # delta over this session only: each report describes its own
+            # run, not the cache's lifetime
+            end = self.cache.stats
+            report.cache_stats = CacheStats(
+                hits=end.hits - self._cache_start.hits,
+                misses=end.misses - self._cache_start.misses,
+                evictions=end.evictions - self._cache_start.evictions,
+                invalidations=end.invalidations - self._cache_start.invalidations)
+        if self.verify:
+            report.max_verify_error = self._worst_err
+        return report
+
+    # ------------------------------------------------------------------
+    # event loop internals
+    # ------------------------------------------------------------------
+    def _advance(self, horizon_s: Optional[float]) -> None:
+        while self._heap:
+            when, kind, _, payload = self._heap[0]
+            if horizon_s is not None and when > horizon_s:
+                return
+            heapq.heappop(self._heap)
+            self.now_s = max(self.now_s, when)
+            if kind == _ARRIVAL:
+                self._on_arrival(payload, when)
+            elif kind == _WINDOW_CLOSE:
+                key, generation = payload
+                group = self.admission.close_generation(key, generation)
+                if group is not None:
+                    self._admit(group)
+            else:  # _SHARD_READY
+                self._on_shard_ready(payload, when)
+
+    def _on_arrival(self, request: InferenceRequest, now: float) -> None:
+        full, window = self.admission.add(request, now)
+        if window is not None:
+            deadline, key, generation = window
+            heapq.heappush(self._heap, (deadline, _WINDOW_CLOSE,
+                                        next(self._tiebreak),
+                                        (key, generation)))
+        if full is not None:
+            self._admit(full)
+
+    def _admit(self, group: FlushedGroup) -> None:
+        """A closed micro-batch enters the system: resolve, route, queue."""
+        seq = self._seq
+        self._seq += 1
+        requests = group.requests
+        level = self._level(requests[0].level_name)
+        sparsity = self.adapter.feasible_sparsity(
+            level, min(r.deadline_s for r in requests))
+        est = self.adapter.latency.batch_latency_s(
+            self.adapter.workload, level, len(requests),
+            sparsity if sparsity is not None else self.fallback_sparsity,
+            SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+        qb = QueuedBatch(seq, list(requests), level.name, group.ready_s, est,
+                         sparsity=sparsity)
+        shard = self.dispatcher.route(qb, self.shards)
+        if (self.prewarm and shard.shard_id not in self._prewarmed
+                and shard.active_sparsity is None and sparsity is not None):
+            # deploy-time provisioning: the device's first pattern set is
+            # installed before traffic, so it is not charged to the timeline
+            shard.active_sparsity = sparsity
+        self._prewarmed.add(shard.shard_id)
+        self._schedule_shard(shard)
+
+    def _schedule_shard(self, shard: DeviceShard) -> None:
+        when = shard.next_event_s()
+        if when is None or self._scheduled_ready.get(shard.shard_id) == when:
+            return
+        self._scheduled_ready[shard.shard_id] = when
+        heapq.heappush(self._heap, (when, _SHARD_READY,
+                                    next(self._tiebreak), shard.shard_id))
+
+    def _on_shard_ready(self, shard_id: int, now: float) -> None:
+        shard = self.shards[shard_id]
+        if self._scheduled_ready.get(shard_id) == now:
+            del self._scheduled_ready[shard_id]
+        while True:
+            when = shard.next_event_s()
+            if when is None:
+                return
+            if when > now:
+                # the device's next chance moved (it just ran a batch, or
+                # this event was stale); re-arm and yield the loop
+                self._schedule_shard(shard)
+                return
+            batch = shard.pop_next()
+            self._execute(shard, batch)
+
+    # ------------------------------------------------------------------
+    # execution (one batch on one device)
+    # ------------------------------------------------------------------
+    def _resolve_operating_point(self, shard: DeviceShard, level: VFLevel,
+                                 qb: QueuedBatch
+                                 ) -> Tuple[AdaptationEvent, float, float, bool]:
+        """Adaptation decision against the shard's own installed state.
+
+        Returns ``(event, effective_sparsity, switch_seconds, installed)``
+        where ``switch_seconds`` is the total reconfiguration cost this
+        batch pays on its device (planned switch and/or cold-start
+        fallback) and ``installed`` says whether the device physically
+        installed a pattern set for this batch (for per-shard switch
+        accounting — the fallback install is not an adapter switch, but
+        it is a device one).
+        """
+        event = self.adapter.plan(level,
+                                  min(r.deadline_s for r in qb.requests),
+                                  shard.active_sparsity, chosen=qb.sparsity)
+        effective = event.chosen_sparsity
+        switch_s = event.switch.seconds if event.switch is not None else 0.0
+        installed = event.switched
+        if effective is None:
+            # Infeasible deadline: keep whatever this device has installed
+            # (no phantom swap).  Only when nothing is installed yet fall
+            # back to the sparsest set — a real switch, charged as one.
+            if shard.active_sparsity is not None:
+                effective = shard.active_sparsity
+            else:
+                effective = self.fallback_sparsity
+                pset = self.ladder[effective]
+                stats = self.adapter.reconfigurator.pattern_switch(
+                    self.adapter.workload, len(pset),
+                    self.adapter.hardware_pattern_size)
+                switch_s += stats.seconds
+                installed = True
+        shard.active_sparsity = effective
+        return event, effective, switch_s, installed
+
+    def _execute(self, shard: DeviceShard, qb: QueuedBatch) -> None:
+        group = qb.requests
+        level = self._level(qb.level_name)
+        event, effective, switch_s, installed = \
+            self._resolve_operating_point(shard, level, qb)
+        pset = self.ladder[effective]
+        manager = self.adapter.manager
+        if manager is not None and (self.reinstall_per_batch
+                                    or manager.active_set is not pset):
+            manager.apply(pset)
+        # keep the shared adapter's view in sync with the masks resident on
+        # the model, so code mixing the loop with direct adapter.adapt
+        # calls never re-charges a switch for an already-installed set
+        self.adapter.active_sparsity = effective
+        outputs = run_padded(self.model, group, self.pad_id)
+        if self.verify:
+            # excluded from the timed hot path: doubles the compute
+            verify_start = time.perf_counter()
+            for req, out in zip(group, outputs):
+                solo = run_padded(self.model, [req], self.pad_id)[0]
+                self._worst_err = max(self._worst_err,
+                                      float(np.abs(out - solo).max()))
+            self._verify_wall += time.perf_counter() - verify_start
+
+        offsets = self.adapter.latency.batch_completion_offsets_s(
+            self.adapter.workload, level, len(group), effective,
+            SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+        service = switch_s + offsets[-1]
+        begin = max(shard.clock_s, qb.ready_s)
+        completion = begin + service
+        shard.record(qb, service, completion, installed)
+        for i, (req, out) in enumerate(zip(group, outputs)):
+            member_service = (switch_s + offsets[i]
+                              if self.time_sliced else service)
+            result = RequestResult(
+                request=req, output=out, batch_id=qb.seq,
+                batch_size=len(group),
+                queue_wait_s=begin - req.arrival_s,
+                service_s=member_service,
+                completion_s=begin + member_service,
+                sparsity=effective, shard_id=shard.shard_id)
+            if self.retain_results:
+                # kept for report(); long-lived sessions opt out and
+                # consume completions from tick()/drain() instead
+                self._results.append(result)
+            heapq.heappush(self._pending_done,
+                           (result.completion_s, next(self._tiebreak), result))
+        self._events.append((qb.seq, event))
+
+    def _release(self, until_s: float) -> List[RequestResult]:
+        out = []
+        while self._pending_done and self._pending_done[0][0] <= until_s:
+            out.append(heapq.heappop(self._pending_done)[2])
+        return out

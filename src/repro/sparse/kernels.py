@@ -132,11 +132,19 @@ def pattern_matmul(w: PatternIndexedMatrix, x: np.ndarray) -> Tuple[np.ndarray, 
     For every pattern in use the kernel gathers the member tiles'
     activation tiles (one fancy index), contracts them against the dense
     ``(tiles, psize, psize)`` value stack with a single ``einsum``, and
-    scatter-adds the per-tile products into the output tile rows.  The
-    per-pattern kept-position tables are materialized once per packed
-    matrix (compiler-generated code in PatDNN terms) and amortized over
-    all invocations — :meth:`PatternIndexedMatrix.consume_table_charge`
-    bills their index cost exactly once.
+    accumulates the per-tile products into the output tile rows via a
+    segmented :func:`np.add.reduceat` over the row-sorted contribution
+    stack — tiles are enumerated row-major, so member tiles arrive
+    already sorted by tile row and each output row is written once per
+    pattern instead of scatter-added per tile (``np.add.at`` pays a
+    buffered accumulate per element; ``reduceat`` is a contiguous
+    segmented sum, agreeing with the per-tile loop oracle to ~1e-14 —
+    asserted at 1e-13 in the tests).  The per-pattern kept-position
+    tables are
+    materialized once per packed matrix (compiler-generated code in
+    PatDNN terms) and amortized over all invocations —
+    :meth:`PatternIndexedMatrix.consume_table_charge` bills their index
+    cost exactly once.
     """
     x = _check_x(w.shape[1], x)
     b = x.shape[1]
@@ -153,7 +161,12 @@ def pattern_matmul(w: PatternIndexedMatrix, x: np.ndarray) -> Tuple[np.ndarray, 
         if g.nnz == 0:
             continue
         contrib = np.einsum("tij,tjb->tib", g.tiles, x_tiles[g.tile_cols])
-        np.add.at(out_tiles, g.tile_rows, contrib)
+        # tile_rows is non-decreasing (tiles are enumerated row-major), so
+        # the contributions form contiguous per-row segments: one reduceat
+        # plus one duplicate-free fancy add replaces the per-tile scatter
+        rows = g.tile_rows
+        starts = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
+        out_tiles[rows[starts]] += np.add.reduceat(contrib, starts, axis=0)
         counter.macs += g.nnz * b
     return out_tiles.reshape(n_row * psize, b)[: w.shape[0]], counter
 

@@ -197,6 +197,110 @@ class TestCompareKernels:
         assert "cases.ffn-256x256-s75.wall_ms.pattern" in info
 
 
+def stream_digest(err=0.0, mono=True, batches=(1.0, 3.4, 8.0),
+                  efficiency=(1300.0, 1400.0, 1460.0),
+                  p50=(2.1, 5.7, 9.2)):
+    return {
+        "requests": 64,
+        "seed": 0,
+        "windows_ms": [0.0, 4.0, 50.0],
+        "max_oracle_err": err,
+        "monotonic": {"mean_batch_size": mono,
+                      "service_throughput_rps": mono,
+                      "p50_latency_ms": mono},
+        "sweep": [
+            {"max_wait_ms": w, "mean_batch_size": b,
+             "service_throughput_rps": e, "p50_latency_ms": p}
+            for w, b, e, p in zip([0.0, 4.0, 50.0], batches, efficiency, p50)],
+        "tradeoff": {"efficiency_gain": efficiency[-1] / efficiency[0],
+                     "p50_increase_ms": p50[-1] - p50[0],
+                     "batch_growth": batches[-1] / batches[0]},
+    }
+
+
+def table_digest(power_scale=1.0, names=("l1", "l6")):
+    return {
+        "table": "table1_dvfs",
+        "levels": [{"name": n, "freq_mhz": 400.0 if n == "l1" else 1400.0,
+                    "voltage_mv": 916.25 if n == "l1" else 1240.0,
+                    "power_w": power_scale * (0.07 if n == "l1" else 0.44)}
+                   for n in names],
+        "governor": {"lookups": 1000, "wall_ms": 0.5,
+                     "thresholds": [0.15, 0.40]},
+    }
+
+
+class TestCompareStream:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_stream(stream_digest(), stream_digest())
+        assert all(verdicts(findings).values())
+
+    def test_oracle_exactness_breach_fails(self):
+        findings = gate.compare_stream(stream_digest(),
+                                       stream_digest(err=1e-6))
+        assert verdicts(findings)["max_oracle_err"] is False
+
+    def test_lost_monotonicity_fails(self):
+        findings = gate.compare_stream(stream_digest(),
+                                       stream_digest(mono=False))
+        got = verdicts(findings)
+        assert got["monotonic.mean_batch_size"] is False
+        assert got["monotonic.p50_latency_ms"] is False
+
+    def test_batch_size_drift_fails(self):
+        findings = gate.compare_stream(
+            stream_digest(), stream_digest(batches=(1.0, 4.0, 8.0)))
+        assert verdicts(findings)["sweep[1].mean_batch_size"] is False
+
+    def test_endpoint_efficiency_drop_fails(self):
+        findings = gate.compare_stream(
+            stream_digest(),
+            stream_digest(efficiency=(1300.0, 1400.0, 1460.0 * 0.5)))
+        assert verdicts(findings)["sweep[-1].service_throughput_rps"] is False
+
+    def test_endpoint_p50_rise_fails(self):
+        findings = gate.compare_stream(
+            stream_digest(), stream_digest(p50=(2.1, 5.7, 9.2 * 2.0)))
+        assert verdicts(findings)["sweep[-1].p50_latency_ms"] is False
+
+    def test_drift_within_tolerance_passes(self):
+        findings = gate.compare_stream(
+            stream_digest(),
+            stream_digest(efficiency=(1300.0, 1400.0, 1460.0 * 0.9)))
+        assert verdicts(findings)["sweep[-1].service_throughput_rps"] is True
+
+
+class TestCompareTable:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_table(table_digest(), table_digest())
+        assert all(verdicts(findings).values())
+
+    def test_row_drift_fails(self):
+        findings = gate.compare_table(table_digest(),
+                                      table_digest(names=("l1", "l5")))
+        assert verdicts(findings)["levels.row_set"] is False
+
+    def test_power_drift_beyond_one_percent_fails(self):
+        findings = gate.compare_table(table_digest(),
+                                      table_digest(power_scale=1.02))
+        got = verdicts(findings)
+        assert got["levels.l1.power_w"] is False
+        assert got["levels.l6.power_w"] is False
+
+    def test_power_drift_within_budget_passes(self):
+        findings = gate.compare_table(table_digest(),
+                                      table_digest(power_scale=1.005))
+        assert all(verdicts(findings).values())
+
+    def test_wall_clock_never_gated(self):
+        fresh = table_digest()
+        fresh["governor"]["wall_ms"] = 1e6
+        findings = gate.compare_table(table_digest(), fresh)
+        assert all(verdicts(findings).values())
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "governor.wall_ms" in info
+
+
 class TestRender:
     def test_render_marks_failures(self):
         findings = gate.compare(digest(), digest(sim_rps=1000.0))
@@ -223,15 +327,20 @@ class TestMainEntry:
     @pytest.mark.slow
     def test_end_to_end_pass_and_report(self, tmp_path, capsys):
         out = tmp_path / "report.json"
-        fresh = tmp_path / "fresh.json"
-        kfresh = tmp_path / "kernels_fresh.json"
-        code = gate.main(["--output", str(out), "--fresh-output", str(fresh),
-                          "--kernels-fresh-output", str(kfresh)])
+        fresh = {name: tmp_path / f"{name}_fresh.json"
+                 for name in ("serve", "kernels", "stream", "table")}
+        code = gate.main([
+            "--output", str(out),
+            "--fresh-output", str(fresh["serve"]),
+            "--kernels-fresh-output", str(fresh["kernels"]),
+            "--stream-fresh-output", str(fresh["stream"]),
+            "--table-fresh-output", str(fresh["table"])])
         assert code == 0
         assert out.exists()
         # no hidden write into the repo tree
-        assert fresh.exists() and kfresh.exists()
+        assert all(path.exists() for path in fresh.values())
         report = json.loads(out.read_text())
-        assert set(report["benches"]) == {"serve", "kernels"}
+        assert set(report["benches"]) == {"serve", "kernels", "stream",
+                                          "table"}
         assert report["ok"] is True
         assert "no bench regression detected" in capsys.readouterr().out

@@ -422,7 +422,7 @@ class TestSwitchAwareDispatch:
     def test_load_outweighs_switch_when_imbalanced(self):
         shards = [DeviceShard(0), DeviceShard(1)]
         shards[0].expected_sparsity = 0.7
-        shards[0].pending_s = 5.0  # matching shard, but deeply backlogged
+        shards[0].assigned_est_s = 5.0  # matching shard, but deeply loaded
         shards[1].expected_sparsity = 0.3
         dispatcher = Dispatcher("switch-aware", switch_cost_s={0.7: 1.0})
         batch = make_batch(0, est=0.1)
@@ -440,7 +440,7 @@ class TestSwitchAwareDispatch:
     def test_unresolved_sparsity_costs_nothing(self):
         # infeasible batches (sparsity None) rout purely by load
         shards = [DeviceShard(0), DeviceShard(1)]
-        shards[1].pending_s = 1.0
+        shards[1].assigned_est_s = 1.0
         dispatcher = Dispatcher("switch-aware", switch_cost_s={0.3: 9.0})
         assert dispatcher.route(make_batch(0), shards).shard_id == 0
 
