@@ -44,6 +44,26 @@ rules:
     - a modelled power number moves more than 1%;
     - the governor-lookup wall time is recorded informationally.
 
+``table2`` (``benchmarks/results/BENCH_table2.json``)
+    - the reconfiguration-cost row set — one (experiment, V/F level) row
+      per campaign outcome with its modelled latency and deadline
+      verdict — differs from the committed baseline at all;
+    - any campaign run total (E1/E2/E3) drifts at all — the discharge
+      simulation is a deterministic function of the calibration
+      constants;
+    - the simulation wall time is recorded informationally.
+
+``forward`` (``benchmarks/results/BENCH_forward.json``)
+    - the compiled float64 forward deviates from the eager Tensor
+      forward at all (bit-exactness, ``max_abs_err == 0``) in any case;
+    - per-case autograd node counts or compiled steady-state scratch
+      allocations drift from the committed baseline (both are exact
+      functions of the model structure; steady-state allocs must be 0);
+    - the float32 mode exceeds its documented 1e-3 relative tolerance;
+    - the acceptance case's compiled-over-eager speedup falls below the
+      committed floor (a same-machine, same-process ratio); absolute
+      wall times are informational.
+
 Only *deterministic* metrics are gated; absolute wall-clock numbers are
 recorded in the report but never gated — they measure the CI runner, not
 the code.  The shared comparison report lands in
@@ -249,6 +269,112 @@ def compare_table(baseline: dict, fresh: dict) -> List[dict]:
 
 
 # ---------------------------------------------------------------------------
+# table2 bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+def compare_table2(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two Table-II digests: exact row set + exact run totals."""
+    findings: List[dict] = []
+
+    def row_key(row):
+        return (row.get("experiment"), row.get("level"),
+                row.get("latency_ms"), row.get("meets_deadline"))
+
+    base_rows = {row_key(r) for r in baseline.get("rows", [])}
+    fresh_rows = {row_key(r) for r in fresh.get("rows", [])}
+    findings.append({
+        "metric": "rows.row_set", "baseline": float(len(base_rows)),
+        "fresh": float(len(fresh_rows)), "gated": True,
+        "ok": base_rows == fresh_rows,
+        "note": "reconfiguration-cost rows (experiment, level, latency, "
+                "deadline verdict) are deterministic: must match exactly"})
+    for tag in ("E1", "E2", "E3"):
+        base = _lookup(baseline, f"total_runs.{tag}")
+        new = _lookup(fresh, f"total_runs.{tag}")
+        findings.append({
+            "metric": f"total_runs.{tag}", "baseline": base, "fresh": new,
+            "gated": True, "ok": new is not None and new == base,
+            "note": "deterministic discharge simulation: must match "
+                    "baseline exactly"})
+    findings.append({
+        "metric": "wall_ms", "baseline": _lookup(baseline, "wall_ms"),
+        "fresh": _lookup(fresh, "wall_ms"), "gated": False, "ok": True,
+        "note": "informational (wall-clock / runner-dependent)"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# forward bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+def compare_forward(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two forward-bench digests; one finding per checked metric.
+
+    Coverage is anchored on the baseline: a case present in the
+    committed digest but absent from the fresh run fails.
+    """
+    findings: List[dict] = []
+    for name in baseline.get("cases", {}):
+        if name not in fresh.get("cases", {}):
+            findings.append({
+                "metric": f"cases.{name}", "baseline": None, "fresh": None,
+                "gated": True, "ok": False,
+                "note": "gated case missing from fresh run"})
+    f32_tol = (baseline.get("acceptance", {}).get("float32_tol")
+               or fresh.get("acceptance", {}).get("float32_tol", 1e-3))
+    for name, case in fresh.get("cases", {}).items():
+        # case names contain dots ("serve.b1"), so index the baseline
+        # dict directly rather than through the dotted-path helper
+        base_case = baseline.get("cases", {}).get(name, {})
+        err = case.get("max_abs_err")
+        findings.append({
+            "metric": f"cases.{name}.max_abs_err", "baseline": 0.0,
+            "fresh": err, "gated": True, "ok": err == 0.0,
+            "note": "compiled float64 forward must be bit-identical to "
+                    "the eager Tensor forward"})
+        for fld in ("tensor_nodes", "compiled_steady_allocs"):
+            base = base_case.get(fld)
+            new = case.get(fld)
+            finding = {"metric": f"cases.{name}.{fld}",
+                       "baseline": None if base is None else float(base),
+                       "fresh": None if new is None else float(new),
+                       "gated": True}
+            if base is None:
+                finding.update(ok=True,
+                               note="metric absent from baseline; skipped")
+            else:
+                finding.update(
+                    ok=new is not None and new == base,
+                    note="deterministic count: must match baseline exactly")
+            findings.append(finding)
+        rel32 = case.get("float32_max_rel_err")
+        findings.append({
+            "metric": f"cases.{name}.float32_max_rel_err",
+            "baseline": f32_tol, "fresh": rel32, "gated": True,
+            "ok": rel32 is not None and rel32 < f32_tol,
+            "note": f"float32 mode must stay within its documented "
+                    f"{f32_tol:.0e} relative tolerance"})
+        findings.append({
+            "metric": f"cases.{name}.speedup",
+            "baseline": base_case.get("speedup"),
+            "fresh": case.get("speedup"), "gated": False, "ok": True,
+            "note": "informational (wall-clock / runner-dependent)"})
+    acc = fresh.get("acceptance", {})
+    speedup = acc.get("speedup")
+    # the committed floor is authoritative: a PR cannot lower the gate by
+    # editing the bench's own threshold constant
+    floor = baseline.get("acceptance", {}).get("min_speedup",
+                                               acc.get("min_speedup"))
+    findings.append({
+        "metric": "acceptance.speedup", "baseline": floor, "fresh": speedup,
+        "gated": True,
+        "ok": speedup is not None and floor is not None and speedup >= floor,
+        "note": f"compiled forward must stay >= {floor}x over the eager "
+                "path on the acceptance case (same-machine ratio)"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # kernels bench comparison (pure)
 # ---------------------------------------------------------------------------
 
@@ -370,6 +496,24 @@ def run_fresh_table(baseline: dict) -> dict:
                                  .get("lookups", 1000)))
 
 
+def run_fresh_table2(baseline: dict) -> dict:
+    """Re-run the Table II discharge comparison (no configuration knobs)."""
+    _import_benchmarks()
+    from benchmarks.bench_table2_reconfig import run_bench
+
+    return run_bench()
+
+
+def run_fresh_forward(baseline: dict) -> dict:
+    """Re-run the forward-plane bench at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_forward import run_bench
+
+    return run_bench(smoke=bool(baseline.get("smoke", False)),
+                     seed=int(baseline.get("seed", 0)),
+                     repeats=int(baseline.get("repeats", 5)))
+
+
 class BenchSpec:
     """One registered bench: its baseline file, runner and comparator."""
 
@@ -397,6 +541,12 @@ BENCHES: Dict[str, BenchSpec] = {
     "table": BenchSpec("table", RESULTS / "BENCH_table.json",
                        RESULTS / "BENCH_table.fresh.json",
                        run_fresh_table, compare_table),
+    "table2": BenchSpec("table2", RESULTS / "BENCH_table2.json",
+                        RESULTS / "BENCH_table2.fresh.json",
+                        run_fresh_table2, compare_table2),
+    "forward": BenchSpec("forward", RESULTS / "BENCH_forward.json",
+                         RESULTS / "BENCH_forward.fresh.json",
+                         run_fresh_forward, compare_forward),
 }
 
 
@@ -427,6 +577,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the stream baseline digest path")
     parser.add_argument("--table-baseline", type=pathlib.Path, default=None,
                         help="override the table baseline digest path")
+    parser.add_argument("--table2-baseline", type=pathlib.Path, default=None,
+                        help="override the table2 baseline digest path")
+    parser.add_argument("--forward-baseline", type=pathlib.Path, default=None,
+                        help="override the forward baseline digest path")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_REPORT,
                         help="where to write the shared comparison report")
     parser.add_argument("--fresh-output", type=pathlib.Path, default=None,
@@ -441,6 +595,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--table-fresh-output", type=pathlib.Path,
                         default=None,
                         help="override the table fresh-digest path")
+    parser.add_argument("--table2-fresh-output", type=pathlib.Path,
+                        default=None,
+                        help="override the table2 fresh-digest path")
+    parser.add_argument("--forward-fresh-output", type=pathlib.Path,
+                        default=None,
+                        help="override the forward fresh-digest path")
     parser.add_argument("--max-throughput-drop", type=float, default=0.15,
                         help="serve + stream: allowed fractional throughput "
                              "drop (serve sim-throughput, stream widest-"
@@ -458,6 +618,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "kernels": (args.kernels_baseline, args.kernels_fresh_output),
         "stream": (args.stream_baseline, args.stream_fresh_output),
         "table": (args.table_baseline, args.table_fresh_output),
+        "table2": (args.table2_baseline, args.table2_fresh_output),
+        "forward": (args.forward_baseline, args.forward_fresh_output),
     }
     selected = list(BENCHES) if args.bench == "all" else [args.bench]
 

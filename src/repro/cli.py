@@ -207,6 +207,8 @@ def cmd_serve(args) -> int:
         verify=args.verify, devices=args.devices, policy=args.policy,
         time_sliced=not args.no_time_slice, drain_policy=args.drain_policy,
         fairness_window=args.fairness_window,
+        adaptive_low_threshold=args.adaptive_low_threshold,
+        fast_forward=not args.no_fast_forward,
         streaming=args.streaming,
         max_wait_s=(args.max_wait_ms / 1e3
                     if args.max_wait_ms is not None else None)))
@@ -226,7 +228,8 @@ def cmd_serve(args) -> int:
         report = engine.serve(trace)
     summary = {"scenario": args.scenario, "batch_size": args.batch_size,
                "cache_enabled": not args.no_cache,
-               "streaming": args.streaming, **report.summary()}
+               "streaming": args.streaming,
+               "fast_forward": not args.no_fast_forward, **report.summary()}
     print(json.dumps(summary, indent=2))
     if args.output:
         # written before the verify gate so a mismatch still leaves the
@@ -300,6 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(each shard flips itself to level-affinity "
                               "when its observed switch rate crosses a "
                               "threshold)")
+    p_serve.add_argument("--adaptive-low-threshold", type=float, default=None,
+                         help="adaptive drain hysteresis band: flip a shard "
+                              "back to fifo once its post-flip switch rate "
+                              "over a full window falls to this value "
+                              "(default: one-way flip)")
+    p_serve.add_argument("--no-fast-forward", action="store_true",
+                         help="serve through the eager autograd Tensor "
+                              "forward instead of the compiled zero-autograd "
+                              "ndarray plan (outputs are bit-identical; the "
+                              "compiled plan is faster)")
     p_serve.add_argument("--streaming", action="store_true",
                          help="feed the scenario arrival-by-arrival through "
                               "the online submit/tick/drain event loop "

@@ -1,0 +1,584 @@
+"""Zero-autograd inference fast path: compiled pure-ndarray forwards.
+
+Every op in :mod:`repro.tensor.functional` eagerly records the reverse-mode
+graph — a ``Tensor`` wrapper, a backward closure and ``requires_grad``
+checks per operation — which is pure overhead on a serving path that never
+calls ``backward()``.  This module is the inference-mode split every
+production framework makes (and the PatDNN-style ahead-of-time
+specialization the paper leans on): :func:`compile_inference` walks the
+module tree **once** and emits a flat program of ndarray steps that
+
+- snapshots each layer's *effective* weight (``weight * mask``) so the
+  per-forward mask multiply disappears; snapshots are keyed on the O(1)
+  :attr:`~repro.nn.layers.Linear.cache_token` / ``Parameter.version``
+  counters, so recompilation happens only when a parameter or installed
+  mask actually changes (an identical re-install keeps the token stable
+  and therefore the plan);
+- fuses LayerNorm and softmax into single functions with no intermediate
+  graph nodes, replicating the Tensor engine's exact arithmetic
+  expression by expression — the ``float64`` plan is **bit-identical**
+  (``==``, not allclose) to the eager forward, which the forward bench
+  and the equivalence tests assert;
+- memoizes causal and combined causal|key-padding attention masks keyed
+  on ``(batch, seqlen)`` (plus the padding mask's content for ragged
+  batches);
+- reuses scratch buffers across layers *and* across forwards through a
+  shape-keyed :class:`ScratchPool` — steady-state serving performs zero
+  large intermediate allocations per request batch;
+- optionally executes masked prunable layers straight through the sparse
+  kernels (:func:`~repro.sparse.kernels.pattern_matmul` /
+  :func:`~repro.sparse.kernels.block_matmul`) on raw ndarrays with no
+  Tensor wrapping, via :meth:`repro.sparse.executor.SparseExecutor.layer_matmul`.
+
+``dtype="float32"`` is an opt-in reduced-precision execution mode: the
+weight snapshots are cast once at compile time and the whole forward runs
+in single precision.  It is *not* bit-identical to the float64 engine —
+expect relative deviations around 1e-5 (asserted at 1e-3 in the tests);
+float64 remains the default and the only mode the serving stack enables
+by itself.
+
+Supported architectures: :class:`~repro.nn.transformer.TransformerLM`,
+:class:`~repro.nn.distilbert.DistilBertModel` and
+:class:`~repro.nn.distilbert.DistilBertForSequenceTask` — the two model
+families of the paper.  Anything else raises :class:`UnsupportedModel`
+(the serving engine then falls back to the eager Tensor path).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.attention import NEG_INF, MultiHeadAttention, causal_mask
+from repro.nn.distilbert import DistilBertForSequenceTask, DistilBertModel
+from repro.nn.layers import Dropout, LayerNorm, Linear, prunable_linears
+from repro.nn.module import Module
+from repro.nn.transformer import (
+    FeedForward,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    TransformerLM,
+)
+from repro.tensor.functional import _GELU_C
+
+__all__ = ["CompiledForward", "ScratchPool", "UnsupportedModel",
+           "compile_inference"]
+
+DTYPES = ("float64", "float32")
+
+# combined-mask memo bound: entries are keyed on padding-mask content, so
+# adversarial traffic could otherwise grow the cache without limit
+_MASK_CACHE_CAP = 64
+
+
+class UnsupportedModel(TypeError):
+    """``compile_inference`` does not know this architecture's forward."""
+
+
+class ScratchPool:
+    """Shape-keyed free lists of scratch ndarrays, reused across forwards.
+
+    ``take`` hands out a buffer (popping a free one when available),
+    ``give`` returns it; nothing is zeroed — every consumer overwrites the
+    whole buffer (``np.matmul(..., out=)``, ``np.copyto``, ``np.subtract``
+    with ``out=``).  ``misses`` counts real ``np.empty`` allocations, the
+    number the forward bench reports: after the first forward of a given
+    shape it stays flat.
+    """
+
+    def __init__(self, dtype: np.dtype, per_shape_cap: int = 4) -> None:
+        self.dtype = np.dtype(dtype)
+        self.per_shape_cap = per_shape_cap
+        self._free: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: Tuple[int, ...]) -> np.ndarray:
+        stack = self._free.get(shape)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=self.dtype)
+
+    def give(self, arr: np.ndarray) -> None:
+        stack = self._free.setdefault(arr.shape, [])
+        if len(stack) < self.per_shape_cap:
+            stack.append(arr)
+
+    def clear(self) -> None:
+        self._free.clear()
+
+
+class CompiledForward:
+    """A model's forward compiled to a flat program of pure-ndarray steps.
+
+    Calling the plan runs the snapshot program: ``plan(tokens,
+    attn_mask=None) -> np.ndarray`` with the exact semantics of the
+    eval-mode Tensor forward (``attn_mask`` is the boolean key-padding
+    mask the serving batcher builds).  Before every call the plan
+    compares its O(1) weight signature (every ``Linear.cache_token``
+    plus the version counter of each non-Linear parameter) against the
+    live model and recompiles the snapshots only on a real change;
+    ``compiles`` counts how often that happened (1 = never recompiled).
+
+    ``sparse`` (a :class:`~repro.sparse.executor.SparseExecutor`)
+    dispatches masked prunable layers through that executor's sparse
+    kernel on raw ndarrays — format conversions are memoized by cache
+    token exactly like the audit path.  Kernel outputs agree with the
+    dense snapshot to ~1e-13, so the sparse plan is *not* bit-identical
+    (like ``float32``, it is an opt-in mode with a documented tolerance).
+    """
+
+    def __init__(self, model: Module, dtype: str = "float64",
+                 sparse=None) -> None:
+        if str(dtype) not in DTYPES:
+            raise ValueError(f"dtype must be one of {DTYPES}, got {dtype!r}")
+        self.model = model
+        self.dtype = np.dtype(dtype)
+        if sparse is not None and self.dtype != np.float64:
+            raise ValueError("sparse kernel dispatch requires dtype='float64'")
+        self.sparse = sparse
+        self.pool = ScratchPool(self.dtype)
+        self.compiles = 0
+        self.program: List[str] = []
+        self._mask_cache: Dict = {}
+        # signature sources, collected once: Linears carry cache_token
+        # (weight version + mask install counter); everything else
+        # (embeddings, layernorm gains) carries Parameter.version
+        self._linears = [m for m in model.modules() if isinstance(m, Linear)]
+        owned = {id(p) for lin in self._linears
+                 for p in (lin.weight, lin.bias) if p is not None}
+        self._loose_params = [p for _, p in model.named_parameters()
+                              if id(p) not in owned]
+        self._names = {id(m): name for name, m in model.named_modules()}
+        self._sparse_names = (set(prunable_linears(model))
+                              if sparse is not None else set())
+        self._signature: Optional[tuple] = None
+        self._compile()
+
+    # ------------------------------------------------------------------
+    @property
+    def recompiles(self) -> int:
+        """Compilations beyond the first (0 = weights never changed)."""
+        return self.compiles - 1
+
+    def signature(self) -> tuple:
+        """O(1)-per-layer identity of everything the snapshots depend on.
+
+        The raw integer counters behind ``Linear.cache_token`` (uid,
+        weight version, mask install counter) plus the bias version —
+        the bias is snapshot too, so a sanctioned bias-only update must
+        recompile — plus each loose parameter's version.  Same identity
+        as the string tokens without per-call string formatting.
+        """
+        return (tuple((lin._uid, lin.weight.version,
+                       -1 if lin.bias is None else lin.bias.version,
+                       lin._mask_version)
+                      for lin in self._linears),
+                tuple(p.version for p in self._loose_params))
+
+    @staticmethod
+    def _check_eval(model: Module) -> None:
+        for m in model.modules():
+            if isinstance(m, Dropout) and m.p > 0.0 and m.training:
+                raise ValueError(
+                    "compile_inference snapshots eval-mode semantics; call "
+                    "model.eval() first (found an active Dropout)")
+
+    def _cast(self, arr: np.ndarray) -> np.ndarray:
+        if arr.dtype == self.dtype:
+            return arr
+        return arr.astype(self.dtype)
+
+    # ------------------------------------------------------------------
+    # mask memoization
+    # ------------------------------------------------------------------
+    def _cache_mask(self, key, build):
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            if len(self._mask_cache) >= _MASK_CACHE_CAP:
+                self._mask_cache.clear()
+            mask = build()
+            self._mask_cache[key] = mask
+        return mask
+
+    def _causal(self, length: int) -> np.ndarray:
+        return self._cache_mask(("causal", length),
+                                lambda: causal_mask(length))
+
+    def _self_mask(self, length: int,
+                   attn_mask: Optional[np.ndarray]) -> np.ndarray:
+        """Decoder self-attention mask: causal, or causal | key-padding."""
+        if attn_mask is None:
+            return self._causal(length)
+        key = ("self", length, attn_mask.shape, attn_mask.tobytes())
+        return self._cache_mask(
+            key, lambda: np.logical_or(self._causal(length), attn_mask))
+
+    # ------------------------------------------------------------------
+    # layer compilers: each returns a closure over compile-time snapshots
+    # ------------------------------------------------------------------
+    def _compile_linear(self, layer: Linear) -> Callable:
+        """Plain (non-pooled) linear step: ``x @ W_eff.T + b``.
+
+        The effective weight is snapshot C-contiguous exactly as the
+        eager path materializes it, and applied through the same
+        transposed view, so the BLAS call — and its bit pattern — match.
+        """
+        name = self._names.get(id(layer), "")
+        w_eff = layer.weight.data
+        if layer.mask is not None:
+            w_eff = w_eff * layer.mask
+        w_eff = self._cast(w_eff)
+        w_t = w_eff.T
+        bias = None if layer.bias is None else self._cast(layer.bias.data)
+        if (self.sparse is not None and name in self._sparse_names
+                and layer.mask is not None):
+            executor = self.sparse
+            out_features = layer.out_features
+
+            def run_sparse(x: np.ndarray) -> np.ndarray:
+                flat = x.reshape(-1, x.shape[-1])
+                y = executor.layer_matmul(name, layer, flat.T, w_eff=w_eff).T
+                out = y.reshape(x.shape[:-1] + (out_features,))
+                if bias is not None:
+                    out = out + bias
+                return out
+
+            return run_sparse
+
+        def run(x: np.ndarray) -> np.ndarray:
+            out = np.matmul(x, w_t)
+            if bias is not None:
+                out += bias
+            return out
+
+        return run
+
+    def _proj(self, layer: Linear) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Snapshot ``(W_eff.T view, bias)`` for pooled in-place linears."""
+        w_eff = layer.weight.data
+        if layer.mask is not None:
+            w_eff = w_eff * layer.mask
+        bias = None if layer.bias is None else self._cast(layer.bias.data)
+        return self._cast(w_eff).T, bias
+
+    def _compile_norm(self, norm: LayerNorm) -> Callable:
+        """Fused LayerNorm: the six eager ops as one function, two scratch
+        buffers, arithmetic replicated expression by expression."""
+        gamma = self._cast(norm.gamma.data)
+        beta = self._cast(norm.beta.data)
+        eps = norm.eps
+        pool = self.pool
+
+        def run(x: np.ndarray) -> np.ndarray:
+            # np.add.reduce + divide is exactly what ndarray.mean runs
+            # (same pairwise summation, same division) minus the Python
+            # wrapper the profile showed dominating small-model norms
+            dim = x.shape[-1]
+            mu = np.add.reduce(x, axis=-1, keepdims=True)
+            mu /= dim
+            centered = np.subtract(x, mu, out=pool.take(x.shape))
+            sq = np.multiply(centered, centered, out=pool.take(x.shape))
+            var = np.add.reduce(sq, axis=-1, keepdims=True)
+            var /= dim
+            pool.give(sq)
+            # 1 / sqrt(var + eps), computed in place on the small
+            # (..., 1) reduction buffer — same three elementwise ops the
+            # eager path records as add/sqrt/div graph nodes
+            var += eps
+            np.sqrt(var, out=var)
+            inv = np.divide(1.0, var, out=var)
+            np.multiply(centered, inv, out=centered)
+            np.multiply(centered, gamma, out=centered)
+            out = centered + beta
+            pool.give(centered)
+            return out
+
+        return run
+
+    def _compile_attention(self, attn: MultiHeadAttention) -> Callable:
+        """Multi-head attention with pooled q/k/v/scores/context buffers
+        and the softmax applied in place on the score buffer."""
+        heads, head_dim = attn.num_heads, attn.head_dim
+        scale = 1.0 / math.sqrt(attn.head_dim)
+        pool = self.pool
+        sparse_projs = self.sparse is not None
+        if sparse_projs:
+            lin_q = self._compile_linear(attn.q_proj)
+            lin_k = self._compile_linear(attn.k_proj)
+            lin_v = self._compile_linear(attn.v_proj)
+        else:
+            (q_t, q_b), (k_t, k_b), (v_t, v_b) = (
+                self._proj(attn.q_proj), self._proj(attn.k_proj),
+                self._proj(attn.v_proj))
+        lin_out = self._compile_linear(attn.out_proj)
+
+        def run(x_q: np.ndarray, x_kv: np.ndarray,
+                mask: Optional[np.ndarray]) -> np.ndarray:
+            batch, len_q, dim = x_q.shape
+            len_k = x_kv.shape[1]
+            if sparse_projs:
+                q, k, v = lin_q(x_q), lin_k(x_kv), lin_v(x_kv)
+            else:
+                q = np.matmul(x_q, q_t, out=pool.take((batch, len_q, dim)))
+                if q_b is not None:
+                    q += q_b
+                k = np.matmul(x_kv, k_t, out=pool.take((batch, len_k, dim)))
+                if k_b is not None:
+                    k += k_b
+                v = np.matmul(x_kv, v_t, out=pool.take((batch, len_k, dim)))
+                if v_b is not None:
+                    v += v_b
+            qh = q.reshape(batch, len_q, heads, head_dim).transpose(0, 2, 1, 3)
+            kh = k.reshape(batch, len_k, heads, head_dim).transpose(0, 2, 1, 3)
+            vh = v.reshape(batch, len_k, heads, head_dim).transpose(0, 2, 1, 3)
+            scores = np.matmul(qh, kh.transpose(0, 1, 3, 2),
+                               out=pool.take((batch, heads, len_q, len_k)))
+            scores *= scale
+            if mask is not None:
+                np.copyto(scores, NEG_INF, where=mask)
+            # in-place single-pass softmax (same elementwise arithmetic as
+            # the eager shift/exp/normalize, no intermediate arrays)
+            shift = np.maximum.reduce(scores, axis=-1, keepdims=True)
+            np.subtract(scores, shift, out=scores)
+            np.exp(scores, out=scores)
+            scores /= np.add.reduce(scores, axis=-1, keepdims=True)
+            context = np.matmul(
+                scores, vh, out=pool.take((batch, heads, len_q, head_dim)))
+            merged = pool.take((batch, len_q, dim))
+            np.copyto(merged.reshape(batch, len_q, heads, head_dim),
+                      context.transpose(0, 2, 1, 3))
+            out = lin_out(merged)
+            if not sparse_projs:
+                pool.give(q)
+                pool.give(k)
+                pool.give(v)
+            pool.give(scores)
+            pool.give(context)
+            pool.give(merged)
+            return out
+
+        return run
+
+    def _compile_ffn_relu(self, ffn: FeedForward) -> Callable:
+        """Transformer FFN: fc1 -> ReLU (in place) -> fc2, pooled hidden."""
+        fc2 = self._compile_linear(ffn.fc2)
+        hidden_dim = ffn.fc1.out_features
+        pool = self.pool
+        sparse_fc1 = self._compile_linear(ffn.fc1) if self.sparse else None
+        if sparse_fc1 is None:
+            fc1_t, fc1_b = self._proj(ffn.fc1)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            if sparse_fc1 is not None:
+                h = sparse_fc1(x)
+            else:
+                h = np.matmul(x, fc1_t,
+                              out=pool.take(x.shape[:-1] + (hidden_dim,)))
+                if fc1_b is not None:
+                    h += fc1_b
+            # eager relu is `x * (x > 0)`, not np.maximum — replicate it
+            np.multiply(h, h > 0, out=h)
+            out = fc2(h)
+            if sparse_fc1 is None:
+                pool.give(h)
+            return out
+
+        return run
+
+    def _compile_ffn_gelu(self, fc1: Linear, fc2: Linear) -> Callable:
+        """DistilBERT FFN: fc1 -> tanh-GELU -> fc2 (eager expression)."""
+        lin1 = self._compile_linear(fc1)
+        lin2 = self._compile_linear(fc2)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            h = lin1(x)
+            inner = _GELU_C * (h + 0.044715 * h ** 3)
+            t = np.tanh(inner)
+            return lin2(0.5 * h * (1.0 + t))
+
+        return run
+
+    # ------------------------------------------------------------------
+    # architecture programs
+    # ------------------------------------------------------------------
+    def _compile_encoder_layer(self, layer: TransformerEncoderLayer) -> Callable:
+        norm1 = self._compile_norm(layer.norm1)
+        norm2 = self._compile_norm(layer.norm2)
+        attn = self._compile_attention(layer.self_attn)
+        ffn = self._compile_ffn_relu(layer.ffn)
+
+        def run(x: np.ndarray, attn_mask: Optional[np.ndarray]) -> np.ndarray:
+            h = norm1(x)
+            a = attn(h, h, attn_mask)
+            x = np.add(x, a, out=a)
+            f = ffn(norm2(x))
+            return np.add(x, f, out=f)
+
+        return run
+
+    def _compile_decoder_layer(self, layer: TransformerDecoderLayer) -> Callable:
+        norm1 = self._compile_norm(layer.norm1)
+        norm2 = self._compile_norm(layer.norm2)
+        norm3 = self._compile_norm(layer.norm3)
+        self_attn = self._compile_attention(layer.self_attn)
+        cross_attn = self._compile_attention(layer.cross_attn)
+        ffn = self._compile_ffn_relu(layer.ffn)
+
+        def run(x: np.ndarray, memory: np.ndarray,
+                self_mask: Optional[np.ndarray],
+                memory_mask: Optional[np.ndarray]) -> np.ndarray:
+            h = norm1(x)
+            a = self_attn(h, h, self_mask)
+            x = np.add(x, a, out=a)
+            c = cross_attn(norm2(x), memory, memory_mask)
+            x = np.add(x, c, out=c)
+            f = ffn(norm3(x))
+            return np.add(x, f, out=f)
+
+        return run
+
+    def _compile_transformer_lm(self, model: TransformerLM) -> Callable:
+        embed_w = self._cast(model.embed.weight.data)
+        pos = self._cast(model.pos)
+        max_len = model.cfg.max_len
+        encoders = [self._compile_encoder_layer(layer)
+                    for layer in model.encoder]
+        decoders = [self._compile_decoder_layer(layer)
+                    for layer in model.decoder]
+        final_norm = self._compile_norm(model.final_norm)
+        lm_head = self._compile_linear(model.lm_head)
+        self.program = (["embed.src"]
+                        + [f"encoder.{i}" for i in range(len(encoders))]
+                        + ["embed.tgt"]
+                        + [f"decoder.{i}" for i in range(len(decoders))]
+                        + ["final_norm", "lm_head"])
+
+        def forward(tokens: np.ndarray,
+                    attn_mask: Optional[np.ndarray] = None) -> np.ndarray:
+            length = tokens.shape[-1]
+            if length > max_len:
+                raise ValueError(
+                    f"sequence length {length} exceeds max_len {max_len}")
+            emb = embed_w[tokens]
+            emb = np.add(emb, pos[:length], out=emb)
+            x = emb
+            for enc in encoders:
+                x = enc(x, attn_mask)
+            memory = x
+            self_mask = self._self_mask(length, attn_mask)
+            # the eager path embeds the same tokens twice; every compiled
+            # step treats its input as read-only, so the source embedding
+            # is still intact and serves as the decoder input directly
+            y = emb
+            for dec in decoders:
+                y = dec(y, memory, self_mask, attn_mask)
+            return lm_head(final_norm(y))
+
+        return forward
+
+    def _compile_distilbert_layer(self, layer) -> Callable:
+        attn = self._compile_attention(layer.attention)
+        norm1 = self._compile_norm(layer.norm1)
+        norm2 = self._compile_norm(layer.norm2)
+        ffn = self._compile_ffn_gelu(layer.fc1, layer.fc2)
+
+        def run(x: np.ndarray, attn_mask: Optional[np.ndarray]) -> np.ndarray:
+            a = attn(x, x, attn_mask)
+            x = norm1(np.add(x, a, out=a))
+            f = ffn(x)
+            return norm2(np.add(x, f, out=f))
+
+        return run
+
+    def _compile_distilbert(self, model: DistilBertModel) -> Callable:
+        tok_w = self._cast(model.tok_embed.weight.data)
+        pos_w = self._cast(model.pos_embed.weight.data)
+        embed_norm = self._compile_norm(model.embed_norm)
+        max_len = model.cfg.max_len
+        layers = [self._compile_distilbert_layer(layer)
+                  for layer in model.layers]
+        self.program = (["embed"]
+                        + [f"layer.{i}" for i in range(len(layers))])
+
+        def forward(tokens: np.ndarray,
+                    attn_mask: Optional[np.ndarray] = None) -> np.ndarray:
+            length = tokens.shape[-1]
+            if length > max_len:
+                raise ValueError(
+                    f"sequence length {length} exceeds max_len {max_len}")
+            x = tok_w[tokens] + pos_w[:length]
+            x = embed_norm(x)
+            for layer in layers:
+                x = layer(x, attn_mask)
+            return x
+
+        return forward
+
+    def _compile_distilbert_task(self,
+                                 model: DistilBertForSequenceTask) -> Callable:
+        bert = self._compile_distilbert(model.bert)
+        pre = self._compile_linear(model.pre_classifier)
+        head = self._compile_linear(model.classifier)
+        is_regression = model.cfg.is_regression
+        self.program = self.program + ["pooler", "classifier"]
+
+        def forward(tokens: np.ndarray,
+                    attn_mask: Optional[np.ndarray] = None) -> np.ndarray:
+            hidden = bert(tokens, attn_mask)
+            pooled = pre(hidden[:, 0])
+            np.multiply(pooled, pooled > 0, out=pooled)
+            logits = head(pooled)
+            if is_regression:
+                logits = logits.reshape(logits.shape[0])
+            return logits
+
+        return forward
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        model = self.model
+        # re-checked on every recompile, not just construction: a model
+        # flipped back to train mode must fail loudly rather than let
+        # the plan silently keep eval (dropout-free) semantics
+        self._check_eval(model)
+        if isinstance(model, TransformerLM):
+            self._forward = self._compile_transformer_lm(model)
+        elif isinstance(model, DistilBertForSequenceTask):
+            self._forward = self._compile_distilbert_task(model)
+        elif isinstance(model, DistilBertModel):
+            self._forward = self._compile_distilbert(model)
+        else:
+            raise UnsupportedModel(
+                f"compile_inference supports TransformerLM and DistilBert* "
+                f"models, not {type(model).__name__}")
+        self._signature = self.signature()
+        self.compiles += 1
+
+    def __call__(self, tokens, attn_mask: Optional[np.ndarray] = None
+                 ) -> np.ndarray:
+        if self.signature() != self._signature:
+            # a parameter or mask changed since the snapshots were taken
+            self._compile()
+        tokens = np.asarray(tokens.data if hasattr(tokens, "data") else tokens)
+        if tokens.ndim != 2:
+            raise ValueError("compiled forward expects (batch, length) tokens")
+        return self._forward(tokens, attn_mask)
+
+
+def compile_inference(model: Module, dtype: str = "float64",
+                      sparse=None) -> CompiledForward:
+    """Compile ``model``'s eval-mode forward into a pure-ndarray plan.
+
+    ``dtype`` selects the execution precision: ``"float64"`` (default)
+    is bit-identical to the eager Tensor forward; ``"float32"`` runs the
+    snapshots in single precision (opt-in, ~1e-5 relative deviation).
+    ``sparse`` is an optional :class:`~repro.sparse.executor.SparseExecutor`
+    whose kernel executes masked prunable layers on raw ndarrays.
+    Raises :class:`UnsupportedModel` for unknown architectures.
+    """
+    return CompiledForward(model, dtype=dtype, sparse=sparse)

@@ -16,7 +16,14 @@ Layout
   forwards, and the two halves of micro-batching: the incremental
   :class:`AdmissionQueue` (admit one request at a time; flush on
   ``max_batch`` or at the group's window deadline) and the offline
-  :class:`MicroBatcher` wrapper that replays a known trace through it;
+  :class:`MicroBatcher` wrapper that replays a known trace through it.
+  ``run_padded`` executes each batch through the **zero-autograd
+  forward plane** by default: the engines hand it a
+  :class:`~repro.nn.inference.CompiledForward` plan (pure ndarray ops,
+  bit-identical float64 outputs, no graph construction — asserted by a
+  regression test that a fast-path serve allocates zero Tensors), with
+  the eager ``no_grad`` Tensor path kept as the fallback for unknown
+  architectures and behind ``--no-fast-forward``;
 - :mod:`~repro.serve.streaming` — the :class:`StreamingEngine` event
   loop (``submit`` / ``tick`` / ``drain``): one simulated-time heap
   over arrivals, window closes and shard executions.  Semantics are
@@ -35,7 +42,9 @@ Layout
   drain policies ``fifo`` — global flush order — ``level-affinity`` —
   serve one V/F level run-to-run under a fairness window — and
   ``adaptive`` — flip to level-affinity when the shard's observed
-  switch rate crosses a threshold) and the :class:`Dispatcher` routing
+  switch rate crosses a threshold, and back to fifo when it falls to
+  the optional ``adaptive_low_threshold`` hysteresis band) and the
+  :class:`Dispatcher` routing
   policies ``round-robin`` / ``least-loaded`` / ``switch-aware``
   (least-loaded plus the simulated cost of the pattern swap a placement
   would trigger);
@@ -65,11 +74,15 @@ and the multi-device scaling (``BENCH_serve.json``);
 traffic — throughput/efficiency vs p50/p95, exactness against the
 per-request oracle (``BENCH_stream.json``);
 ``benchmarks/bench_kernels.py`` measures the sparse kernels
-(``BENCH_kernels.json``).  CI regresses every PR against the committed
+(``BENCH_kernels.json``); ``benchmarks/bench_forward.py`` measures the
+compiled forward plane against the eager Tensor path — wall clock,
+autograd node counts, scratch allocations, bit-exactness
+(``BENCH_forward.json``).  CI regresses every PR against the committed
 digests via ``scripts/check_bench_regression.py`` (serve: simulated
 throughput/p95 drift + exactness; stream: exactness, batching
 monotonicity, endpoint drift; kernels: op counts, exactness, speedup
-floor; table: row-set equality + power drift).
+floor; table/table2: deterministic row/run-total equality; forward:
+bit-exactness, node/alloc counts, speedup floor).
 """
 
 from repro.serve.batcher import (

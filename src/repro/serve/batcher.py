@@ -136,17 +136,28 @@ def pad_batch(token_seqs: Sequence[np.ndarray], pad_id: int = 0
     return tokens, mask, lengths
 
 
-def run_padded(model, requests: Sequence[InferenceRequest], pad_id: int = 0
-               ) -> List[np.ndarray]:
+def run_padded(model, requests: Sequence[InferenceRequest], pad_id: int = 0,
+               forward=None) -> List[np.ndarray]:
     """One vectorized forward over ``requests``; outputs sliced per request.
 
     Sequence models (3-D logits) are sliced back to each request's true
     length; pooled heads (2-D outputs) return one row per request.
+
+    ``forward`` is an optional zero-autograd fast path — a callable
+    ``forward(tokens, attn_mask=...) -> np.ndarray`` such as a
+    :class:`~repro.nn.inference.CompiledForward` plan.  When given it
+    replaces the eager ``model(...)`` call entirely: no ``no_grad``
+    guard is needed because the plan never touches the Tensor engine
+    (its float64 outputs are bit-identical, asserted in the tests).
     """
     tokens, mask, lengths = pad_batch([r.tokens for r in requests], pad_id)
-    with no_grad():
-        out = model(tokens) if mask is None else model(tokens, attn_mask=mask)
-    data = out.data if hasattr(out, "data") else np.asarray(out)
+    if forward is not None:
+        data = forward(tokens, attn_mask=mask)
+    else:
+        with no_grad():
+            out = (model(tokens) if mask is None
+                   else model(tokens, attn_mask=mask))
+        data = out.data if hasattr(out, "data") else np.asarray(out)
     if data.ndim >= 3:
         return [data[i, : lengths[i]].copy() for i in range(len(requests))]
     return [data[i].copy() for i in range(len(requests))]

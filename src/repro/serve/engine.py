@@ -97,7 +97,9 @@ class ServeEngine:
                  time_sliced: bool = True, prewarm: bool = False,
                  drain_policy: str = "fifo", fairness_window: int = 4,
                  adaptive_window: int = 8,
-                 adaptive_threshold: float = 0.5) -> None:
+                 adaptive_threshold: float = 0.5,
+                 adaptive_low_threshold: Optional[float] = None,
+                 fast_forward: bool = True) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if drain_policy not in DRAIN_POLICIES:
@@ -110,6 +112,10 @@ class ServeEngine:
             raise ValueError("adaptive_window must be at least 1")
         if not 0.0 < adaptive_threshold <= 1.0:
             raise ValueError("adaptive_threshold must be in (0, 1]")
+        if adaptive_low_threshold is not None and not (
+                0.0 <= adaptive_low_threshold < adaptive_threshold):
+            raise ValueError(
+                "adaptive_low_threshold must be in [0, adaptive_threshold)")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -131,6 +137,11 @@ class ServeEngine:
         self.fairness_window = fairness_window
         self.adaptive_window = adaptive_window
         self.adaptive_threshold = adaptive_threshold
+        self.adaptive_low_threshold = adaptive_low_threshold
+        # serve-path forwards run the compiled zero-autograd ndarray plan
+        # by default (bit-identical outputs); False restores the eager
+        # Tensor path (`rt3 serve --no-fast-forward`)
+        self.fast_forward = fast_forward
         self.time_sliced = time_sliced
         # ``prewarm=True`` models deploy-time provisioning: each device
         # starts with the pattern set of its first routed batch already
@@ -176,6 +187,8 @@ class ServeEngine:
             fairness_window=self.fairness_window,
             adaptive_window=self.adaptive_window,
             adaptive_threshold=self.adaptive_threshold,
+            adaptive_low_threshold=self.adaptive_low_threshold,
+            fast_forward=self.fast_forward,
             initial_device_state=dict(self._device_state))
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:

@@ -86,8 +86,9 @@ class ShardStats:
     busy_s: float = 0.0
     last_completion_s: float = 0.0
     switches: int = 0
-    # adaptive drain: how often the shard re-picked its own policy (0 or 1
-    # today — the flip to level-affinity is one-way) and what it ended on
+    # adaptive drain: how often the shard re-picked its own policy (with
+    # the hysteresis band enabled a shard can flip fifo -> level-affinity
+    # and back as traffic phases change) and what it ended on
     policy_flips: int = 0
     drain_policy: str = "fifo"
 
@@ -130,10 +131,18 @@ class DeviceShard:
       level across the whole run;
     - ``adaptive`` — behave as ``fifo`` until the observed pattern-switch
       rate over the last ``adaptive_window`` executed batches reaches
-      ``adaptive_threshold``, then flip (one-way) to ``level-affinity``.
-      A shard fed steady single-rung traffic keeps FIFO's exact global
-      order; a shard hammered by rung-alternating bursts starts
-      amortizing pattern residency on its own.
+      ``adaptive_threshold``, then flip to ``level-affinity``.  A shard
+      fed steady single-rung traffic keeps FIFO's exact global order; a
+      shard hammered by rung-alternating bursts starts amortizing
+      pattern residency on its own.  With ``adaptive_low_threshold`` set
+      (the hysteresis band) the flip is reversible: once the post-flip
+      switch rate over a full window falls to the lower band — the
+      traffic phase changed, affinity no longer buys anything — the
+      shard flips back to fifo.  The switch history is cleared at every
+      flip so each decision uses only evidence gathered under the policy
+      in force (otherwise affinity's own switch savings would
+      immediately re-trigger the flip-back).  ``None`` (default) keeps
+      the historical one-way behaviour.
 
     The affinity run state persists across pops, so incremental
     event-loop use and a one-shot :meth:`drain` walk the same policy.
@@ -148,7 +157,8 @@ class DeviceShard:
 
     def __init__(self, shard_id: int, drain_policy: str = "fifo",
                  fairness_window: int = 4, adaptive_window: int = 8,
-                 adaptive_threshold: float = 0.5) -> None:
+                 adaptive_threshold: float = 0.5,
+                 adaptive_low_threshold: Optional[float] = None) -> None:
         if drain_policy not in DRAIN_POLICIES:
             raise ValueError(f"unknown drain policy {drain_policy!r}; "
                              f"options: {list(DRAIN_POLICIES)}")
@@ -158,11 +168,16 @@ class DeviceShard:
             raise ValueError("adaptive_window must be at least 1")
         if not 0.0 < adaptive_threshold <= 1.0:
             raise ValueError("adaptive_threshold must be in (0, 1]")
+        if adaptive_low_threshold is not None and not (
+                0.0 <= adaptive_low_threshold < adaptive_threshold):
+            raise ValueError(
+                "adaptive_low_threshold must be in [0, adaptive_threshold)")
         self.shard_id = shard_id
         self.drain_policy = drain_policy
         self.fairness_window = fairness_window
         self.adaptive_window = adaptive_window
         self.adaptive_threshold = adaptive_threshold
+        self.adaptive_low_threshold = adaptive_low_threshold
         self.queues: Dict[str, Deque[QueuedBatch]] = {}
         self.clock_s = 0.0
         # estimated not-yet-executed backlog — introspection only; routing
@@ -274,15 +289,28 @@ class DeviceShard:
         if switched:
             self.stats.switches += 1
         self._switch_history.append(switched)
-        if (self.drain_policy == "adaptive"
-                and self.stats.drain_policy == "fifo"
-                and len(self._switch_history) >= self.adaptive_window
+        if (self.drain_policy != "adaptive"
+                or len(self._switch_history) < self.adaptive_window):
+            return
+        if (self.stats.drain_policy == "fifo"
                 and self.switch_rate >= self.adaptive_threshold):
             # enough evidence of rung-thrashing: amortize pattern
-            # residency from here on (one-way — the history that
-            # triggered the flip shrinks once affinity batches levels)
+            # residency from here on; history is cleared so a flip-back
+            # decision only weighs batches executed *under* affinity
             self.stats.drain_policy = "level-affinity"
             self.stats.policy_flips += 1
+            self._switch_history.clear()
+        elif (self.stats.drain_policy == "level-affinity"
+              and self.adaptive_low_threshold is not None
+              and self.switch_rate <= self.adaptive_low_threshold):
+            # hysteresis band: a full affinity-era window with (almost)
+            # no switches means the traffic phase changed — affinity is
+            # no longer buying anything, so return to fifo's exact
+            # global flush order (outputs are unaffected either way:
+            # drain order never changes batch membership)
+            self.stats.drain_policy = "fifo"
+            self.stats.policy_flips += 1
+            self._switch_history.clear()
 
 
 @dataclass

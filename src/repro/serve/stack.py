@@ -48,9 +48,16 @@ class StackConfig:
     drain_policy: str = "fifo"
     fairness_window: int = 4
     # adaptive drain: per-shard flip to level-affinity once the observed
-    # switch rate over `adaptive_window` batches reaches the threshold
+    # switch rate over `adaptive_window` batches reaches the threshold;
+    # the optional lower band makes the flip reversible (hysteresis) —
+    # a shard whose post-flip switch rate collapses returns to fifo
     adaptive_window: int = 8
     adaptive_threshold: float = 0.5
+    adaptive_low_threshold: Optional[float] = None
+    # serve-path forwards run the compiled zero-autograd ndarray plan
+    # (bit-identical to the eager Tensor forward); False restores the
+    # eager path (`rt3 serve --no-fast-forward`)
+    fast_forward: bool = True
     # streaming=True builds the online StreamingEngine (submit/tick/drain)
     # instead of the offline trace wrapper; max_wait_s overrides window_s
     # as its admission window when set
@@ -88,7 +95,9 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                          drain_policy=cfg.drain_policy,
                          fairness_window=cfg.fairness_window,
                          adaptive_window=cfg.adaptive_window,
-                         adaptive_threshold=cfg.adaptive_threshold)
+                         adaptive_threshold=cfg.adaptive_threshold,
+                         adaptive_low_threshold=cfg.adaptive_low_threshold,
+                         fast_forward=cfg.fast_forward)
     if cfg.streaming:
         return model, workload, engine.streaming(max_wait_s=cfg.max_wait_s)
     return model, workload, engine

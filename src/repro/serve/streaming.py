@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core.runtime_policy import AdaptationEvent, RuntimeAdapter
 from repro.hardware.dvfs import DVFSTable, VFLevel
+from repro.nn.inference import UnsupportedModel, compile_inference
 from repro.hardware.latency import SparsityKind
 from repro.serve.batcher import (
     AdmissionQueue,
@@ -228,8 +229,10 @@ class StreamingEngine:
                  time_sliced: bool = True, prewarm: bool = False,
                  drain_policy: str = "fifo", fairness_window: int = 4,
                  adaptive_window: int = 8, adaptive_threshold: float = 0.5,
+                 adaptive_low_threshold: Optional[float] = None,
                  initial_device_state: Optional[Dict[int, Optional[float]]] = None,
-                 retain_results: bool = True) -> None:
+                 retain_results: bool = True,
+                 fast_forward: bool = True) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if policy not in POLICIES:
@@ -249,6 +252,12 @@ class StreamingEngine:
         self.dvfs = dvfs or DVFSTable()
         self.verify = verify
         self.reinstall_per_batch = reinstall_per_batch
+        # serve-path forwards default to the compiled zero-autograd plan
+        # (bit-identical to the eager path); the plan is built lazily on
+        # the first executed batch and recompiles itself only when a
+        # weight or installed mask actually changes (O(1) token check)
+        self.fast_forward = fast_forward
+        self._plan = None
         self.time_sliced = time_sliced
         self.prewarm = prewarm
         self.policy = policy
@@ -265,7 +274,8 @@ class StreamingEngine:
         self.shards = [DeviceShard(i, drain_policy=drain_policy,
                                    fairness_window=fairness_window,
                                    adaptive_window=adaptive_window,
-                                   adaptive_threshold=adaptive_threshold)
+                                   adaptive_threshold=adaptive_threshold,
+                                   adaptive_low_threshold=adaptive_low_threshold)
                        for i in range(devices)]
         state = dict(initial_device_state or {})
         for shard in self.shards:
@@ -308,6 +318,20 @@ class StreamingEngine:
 
     def _level(self, name: str) -> VFLevel:
         return self.dvfs[name]
+
+    def _forward(self):
+        """The compiled zero-autograd forward plan (None = eager path)."""
+        if not self.fast_forward:
+            return None
+        if self._plan is None:
+            try:
+                self._plan = compile_inference(self.model)
+            except (UnsupportedModel, ValueError):
+                # unknown architecture (or a model left in training
+                # mode): serve through the eager Tensor path instead
+                self.fast_forward = False
+                return None
+        return self._plan
 
     def _compat_key(self, request: InferenceRequest) -> Hashable:
         """Requests batch together iff they resolve to one operating point."""
@@ -563,12 +587,14 @@ class StreamingEngine:
         # the model, so code mixing the loop with direct adapter.adapt
         # calls never re-charges a switch for an already-installed set
         self.adapter.active_sparsity = effective
-        outputs = run_padded(self.model, group, self.pad_id)
+        fwd = self._forward()
+        outputs = run_padded(self.model, group, self.pad_id, forward=fwd)
         if self.verify:
             # excluded from the timed hot path: doubles the compute
             verify_start = time.perf_counter()
             for req, out in zip(group, outputs):
-                solo = run_padded(self.model, [req], self.pad_id)[0]
+                solo = run_padded(self.model, [req], self.pad_id,
+                                  forward=fwd)[0]
                 self._worst_err = max(self._worst_err,
                                       float(np.abs(out - solo).max()))
             self._verify_wall += time.perf_counter() - verify_start

@@ -146,6 +146,36 @@ class SparseExecutor:
         return self.cache.get_format(name, token, self.fmt, compute,
                                      config=config)
 
+    def layer_matmul(self, name: str, layer: Linear, x: np.ndarray,
+                     w_eff: Optional[np.ndarray] = None) -> np.ndarray:
+        """Masked-layer forward ``W_eff @ x`` through this executor's kernel.
+
+        Pure ndarray in, ndarray out — no :class:`~repro.tensor.Tensor`
+        wrapping anywhere — which is what lets the compiled inference
+        plan (:mod:`repro.nn.inference`) route sparse layers straight to
+        :func:`~repro.sparse.kernels.pattern_matmul` /
+        :func:`~repro.sparse.kernels.block_matmul`.  ``x`` is
+        ``(in_features, batch)``; ``w_eff`` (optional) is the caller's
+        already-materialized effective weight, saving the mask multiply.
+        Format conversions are memoized by the layer's O(1)
+        ``cache_token`` exactly like :meth:`audit_layer`; for the pattern
+        format the tile patterns are re-derived from the effective
+        weight (the audit-path semantics), so outputs agree with the
+        dense product to kernel precision (~1e-13), not bit-exactly.
+        """
+        if w_eff is None:
+            w_eff = layer.weight.data * (layer.mask if layer.mask is not None
+                                         else 1.0)
+        token = layer.cache_token
+        if self.fmt == "dense":
+            return dense_matmul(w_eff, x)[0]
+        if self.fmt == "coo":
+            return coo_matmul(self._convert(name, w_eff, token), x)[0]
+        if self.fmt == "block":
+            return block_matmul(self._convert(name, w_eff, token), x)[0]
+        packed, _ = self._convert(name, w_eff, token)
+        return pattern_matmul(packed, x)[0]
+
     def audit_layer(self, name: str, layer: Linear) -> LayerAudit:
         w = layer.weight.data * (layer.mask if layer.mask is not None else 1.0)
         token = layer.cache_token

@@ -115,7 +115,8 @@ def maximum(a, b) -> Tensor:
 
 def where(cond, a, b) -> Tensor:
     cond_arr = cond.data if isinstance(cond, Tensor) else np.asarray(cond)
-    cond_arr = cond_arr.astype(bool)
+    if cond_arr.dtype != np.bool_:  # astype would copy an already-bool mask
+        cond_arr = cond_arr.astype(bool)
     a, b = as_tensor(a), as_tensor(b)
     data = np.where(cond_arr, a.data, b.data)
 
@@ -412,7 +413,8 @@ def cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
     """
     logits = as_tensor(logits)
     target_idx = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    target_idx = target_idx.astype(np.int64)
+    if target_idx.dtype != np.int64:  # astype(copy=True) would copy int64 targets
+        target_idx = target_idx.astype(np.int64)
     lsm = log_softmax(logits, axis=-1)
     flat = lsm.data.reshape(-1, lsm.shape[-1])
     rows = np.arange(flat.shape[0])
@@ -471,7 +473,8 @@ def embedding(weight, indices) -> Tensor:
     """Gather rows of ``weight`` (V, D) at integer ``indices`` (...)."""
     weight = as_tensor(weight)
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    idx = idx.astype(np.int64)
+    if idx.dtype != np.int64:  # every forward gathers: skip the int64 copy
+        idx = idx.astype(np.int64)
     data = weight.data[idx]
 
     def backward(grad):
@@ -487,7 +490,10 @@ def masked_fill(a, mask, value: float) -> Tensor:
     """Set positions where ``mask`` is true to ``value`` (no grad there)."""
     a = as_tensor(a)
     mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
-    mask_arr = mask_arr.astype(bool)
+    if mask_arr.dtype != np.bool_:
+        # the attention mask is already boolean on every serving forward;
+        # the unconditional astype copied it once per attention layer
+        mask_arr = mask_arr.astype(bool)
     data = np.where(mask_arr, value, a.data)
 
     def backward(grad):

@@ -44,8 +44,12 @@ def is_grad_enabled() -> bool:
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     arr = np.asarray(value)
+    if arr.dtype == np.float64:
+        # the serving hot path wraps float64 ndarrays on every op: return
+        # them untouched instead of paying an astype round trip per node
+        return arr
     if arr.dtype.kind in "fc":
-        return arr.astype(np.float64, copy=False)
+        return arr.astype(np.float64)
     if arr.dtype.kind in "iub":
         return arr
     raise TypeError(f"unsupported dtype for Tensor: {arr.dtype}")

@@ -301,6 +301,125 @@ class TestCompareTable:
         assert "governor.wall_ms" in info
 
 
+def table2_digest(e3=2.5e6, meets=True):
+    rows = [{"experiment": "E1", "level": "l6", "latency_ms": 114.7,
+             "meets_deadline": True},
+            {"experiment": "E3", "level": "l3", "latency_ms": 114.0,
+             "meets_deadline": meets}]
+    return {
+        "table": "table2_reconfig",
+        "deadline_ms": 115.0,
+        "rows": rows,
+        "total_runs": {"E1": 1.53e6, "E2": 1.78e6, "E3": e3},
+        "improvement": {"E2_vs_E1": 1.164, "E3_vs_E1": e3 / 1.53e6},
+        "wall_ms": 0.2,
+    }
+
+
+class TestCompareTable2:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_table2(table2_digest(), table2_digest())
+        assert all(verdicts(findings).values())
+
+    def test_row_verdict_drift_fails(self):
+        findings = gate.compare_table2(table2_digest(),
+                                       table2_digest(meets=False))
+        assert verdicts(findings)["rows.row_set"] is False
+
+    def test_run_total_drift_fails(self):
+        findings = gate.compare_table2(table2_digest(),
+                                       table2_digest(e3=2.6e6))
+        assert verdicts(findings)["total_runs.E3"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = table2_digest()
+        fresh["wall_ms"] = 1e6
+        findings = gate.compare_table2(table2_digest(), fresh)
+        assert all(verdicts(findings).values())
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "wall_ms" in info
+
+
+def forward_digest(err=0.0, nodes=238, allocs=0, speedup=3.5,
+                   min_speedup=2.0, rel32=2e-7):
+    return {
+        "bench": "forward",
+        "smoke": False,
+        "seed": 0,
+        "repeats": 5,
+        "cases": {
+            "serve.b1": {
+                "model": "TransformerLM", "batch": 1, "seq_len": 12,
+                "tensor_ms": 1.4, "compiled_ms": 1.4 / speedup,
+                "speedup": speedup, "max_abs_err": err,
+                "exact": err == 0.0, "tensor_nodes": nodes,
+                "compiled_steady_allocs": allocs,
+                "compiled_warm_allocs": 14,
+                "float32_max_rel_err": rel32,
+            },
+        },
+        "acceptance": {"case": "serve.b1", "speedup": speedup,
+                       "min_speedup": min_speedup, "exact": err == 0.0,
+                       "float32_tol": 1e-3},
+    }
+
+
+class TestCompareForward:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_forward(forward_digest(), forward_digest())
+        assert all(verdicts(findings).values())
+
+    def test_any_exactness_breach_fails(self):
+        # bit-exactness: even a 1e-16 deviation is a gate failure
+        findings = gate.compare_forward(forward_digest(),
+                                        forward_digest(err=1e-16))
+        assert verdicts(findings)["cases.serve.b1.max_abs_err"] is False
+
+    def test_node_count_drift_fails(self):
+        findings = gate.compare_forward(forward_digest(),
+                                        forward_digest(nodes=239))
+        assert verdicts(findings)["cases.serve.b1.tensor_nodes"] is False
+
+    def test_steady_alloc_drift_fails(self):
+        findings = gate.compare_forward(forward_digest(),
+                                        forward_digest(allocs=3))
+        assert (verdicts(findings)["cases.serve.b1.compiled_steady_allocs"]
+                is False)
+
+    def test_speedup_below_floor_fails(self):
+        findings = gate.compare_forward(forward_digest(),
+                                        forward_digest(speedup=1.5))
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_baseline_floor_is_authoritative(self):
+        # a fresh run cannot lower the gate by shipping a smaller floor
+        fresh = forward_digest(speedup=2.2)
+        fresh["acceptance"]["min_speedup"] = 1.0
+        findings = gate.compare_forward(forward_digest(min_speedup=2.5),
+                                        fresh)
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_float32_tolerance_breach_fails(self):
+        findings = gate.compare_forward(forward_digest(),
+                                        forward_digest(rel32=5e-3))
+        assert (verdicts(findings)["cases.serve.b1.float32_max_rel_err"]
+                is False)
+
+    def test_dropped_case_fails(self):
+        fresh = forward_digest()
+        fresh["cases"] = {}
+        findings = gate.compare_forward(forward_digest(), fresh)
+        assert verdicts(findings)["cases.serve.b1"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = forward_digest()
+        fresh["cases"]["serve.b1"]["tensor_ms"] = 1e6
+        fresh["cases"]["serve.b1"]["compiled_ms"] = 1e6
+        findings = gate.compare_forward(forward_digest(), fresh)
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "cases.serve.b1.speedup" in info
+
+
 class TestRender:
     def test_render_marks_failures(self):
         findings = gate.compare(digest(), digest(sim_rps=1000.0))
@@ -328,19 +447,22 @@ class TestMainEntry:
     def test_end_to_end_pass_and_report(self, tmp_path, capsys):
         out = tmp_path / "report.json"
         fresh = {name: tmp_path / f"{name}_fresh.json"
-                 for name in ("serve", "kernels", "stream", "table")}
+                 for name in ("serve", "kernels", "stream", "table",
+                              "table2", "forward")}
         code = gate.main([
             "--output", str(out),
             "--fresh-output", str(fresh["serve"]),
             "--kernels-fresh-output", str(fresh["kernels"]),
             "--stream-fresh-output", str(fresh["stream"]),
-            "--table-fresh-output", str(fresh["table"])])
+            "--table-fresh-output", str(fresh["table"]),
+            "--table2-fresh-output", str(fresh["table2"]),
+            "--forward-fresh-output", str(fresh["forward"])])
         assert code == 0
         assert out.exists()
         # no hidden write into the repo tree
         assert all(path.exists() for path in fresh.values())
         report = json.loads(out.read_text())
         assert set(report["benches"]) == {"serve", "kernels", "stream",
-                                          "table"}
+                                          "table", "table2", "forward"}
         assert report["ok"] is True
         assert "no bench regression detected" in capsys.readouterr().out

@@ -515,3 +515,94 @@ class TestAdaptiveDrain:
         with pytest.raises(ValueError, match="adaptive_threshold"):
             build_engine(model, drain_policy="adaptive",
                          adaptive_threshold=1.5)
+
+
+# ---------------------------------------------------------------------------
+# adaptive hysteresis: the flip is reversible when the traffic phase changes
+# ---------------------------------------------------------------------------
+
+def phase_change_trace(wl, thrash_bursts=24, steady_bursts=48, burst=4):
+    """Rung-alternating saturating bursts, then a long steady phase.
+
+    Phase 1 alternates two operating points whose feasible sparsities
+    differ, so every batch on a single device swaps pattern sets; phase 2
+    sticks to one point, so the post-flip switch rate collapses to zero.
+    """
+    latency = LatencyModel()
+    table = DVFSTable()
+    dense = {name: latency.latency_s(wl, table[name], 0.0, SparsityKind.DENSE)
+             for name in ("l6", "l4", "l3")}
+    reqs = []
+    t = 0.0
+    for b in range(thrash_bursts + steady_bursts):
+        if b >= thrash_bursts:
+            level, factor = "l6", 1.7
+        elif b % 2 == 0:
+            level, factor = "l4", 1.7
+        else:
+            level, factor = "l3", 1.2
+        deadline = factor * dense[level]
+        for _ in range(burst):
+            reqs.append(InferenceRequest(
+                len(reqs),
+                np.random.default_rng(len(reqs)).integers(1, 60, size=6),
+                arrival_s=t, deadline_s=deadline, level_name=level,
+                slo_s=10.0))
+        t += 1e-4
+    return reqs
+
+
+class TestAdaptiveHysteresis:
+    def run(self, drain_policy, trace, low=None):
+        engine, _ = build_engine(TransformerLM(LM_CFG).eval(), devices=1,
+                                 max_batch=4, window_s=1e-5,
+                                 drain_policy=drain_policy,
+                                 fairness_window=4, adaptive_window=8,
+                                 adaptive_threshold=0.5,
+                                 adaptive_low_threshold=low)
+        return engine.serve(list(trace))
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        wl = profile_from_model(TransformerLM(LM_CFG).eval(), seq_len=12)
+        return phase_change_trace(wl)
+
+    def test_flips_forward_then_back(self, trace):
+        report = self.run("adaptive", trace, low=0.1)
+        stats = report.shard_stats[0]
+        # thrash phase flips fifo -> level-affinity; once the steady
+        # phase drains the mixed backlog the post-flip window holds zero
+        # switches and the hysteresis band flips the shard back
+        assert stats.policy_flips == 2
+        assert stats.drain_policy == "fifo"
+
+    def test_without_band_the_flip_stays_one_way(self, trace):
+        report = self.run("adaptive", trace, low=None)
+        stats = report.shard_stats[0]
+        assert stats.policy_flips == 1
+        assert stats.drain_policy == "level-affinity"
+
+    def test_outputs_identical_to_fifo_through_both_flips(self, trace):
+        fifo = self.run("fifo", trace)
+        hysteresis = self.run("adaptive", trace, low=0.1)
+        assert hysteresis.num_requests == fifo.num_requests
+        outs_a = {r.request.req_id: r.output for r in fifo.results}
+        outs_b = {r.request.req_id: r.output for r in hysteresis.results}
+        assert outs_a.keys() == outs_b.keys()
+        for rid, out in outs_a.items():
+            np.testing.assert_array_equal(out, outs_b[rid])
+
+    def test_band_cuts_switches_vs_fifo(self, trace):
+        fifo = self.run("fifo", trace)
+        hysteresis = self.run("adaptive", trace, low=0.1)
+        assert (sum(s.switches for s in hysteresis.shard_stats)
+                < sum(s.switches for s in fifo.shard_stats))
+
+    def test_low_threshold_validation(self):
+        model = TransformerLM(LM_CFG).eval()
+        with pytest.raises(ValueError, match="adaptive_low_threshold"):
+            build_engine(model, drain_policy="adaptive",
+                         adaptive_threshold=0.5, adaptive_low_threshold=0.5)
+        with pytest.raises(ValueError, match="adaptive_low_threshold"):
+            build_engine(model, drain_policy="adaptive",
+                         adaptive_low_threshold=-0.1)
