@@ -6,30 +6,106 @@
 (b/c) Accuracy-vs-sparsity of the best solutions against the heuristic
     baseline, the original model and the BP backbone — RT3 should be at
     least as accurate as the heuristic at the same hardware budget.
+
+Besides the rendered exploration report (informational,
+``benchmarks/results/fig3_pareto_exploration.txt``), ``run_bench``
+writes a machine-readable digest (``benchmarks/results/BENCH_fig3.json``)
+per deadline: the feasible (Aw, #runs) points, the Pareto front, the
+best weighted accuracy/reward, the heuristic baseline and the per-level
+minimum sparsity candidates.  The search is seeded — the seed and
+episode count are recorded in the digest — so
+``scripts/check_bench_regression.py`` replays it and gates under drift
+budgets: every committed Pareto point must stay covered, the best
+weighted accuracy and reward must not regress beyond budget, feasible
+counts must not shrink, and the sparsity grid must match exactly; wall
+time is informational.
 """
 
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
 import numpy as np
-import pytest
+
+try:  # the CI regression gate imports run_bench in a numpy-only env
+    import pytest
+except ModuleNotFoundError:
+    pytest = None
+
+if __package__ in (None, ""):  # run as a script
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.pareto import pareto_front
 from repro.core.rt3 import RT3
 from repro.hardware.workload import paper_scale_transformer
 
-from benchmarks.common import fmt_pct, make_lm_task, small_rt3_config, write_result
+from benchmarks.common import (
+    canon, fmt_pct, make_lm_task, small_rt3_config, write_json_result, write_result,
+)
+
+DEADLINES = (("loose-104ms", 0.104), ("tight-94ms", 0.094))
 
 
-@pytest.fixture(scope="module")
-def explorations():
+def run_explorations(episodes: int = 6, seed: int = 0,
+                     pretrain_epochs: int = 6) -> dict:
+    """One seeded RT3 search per deadline; returns rich result objects."""
     out = {}
-    for label, deadline in (("loose-104ms", 0.104), ("tight-94ms", 0.094)):
-        task = make_lm_task(pretrain_epochs=6)
-        rt3 = RT3(task, paper_scale_transformer(), small_rt3_config(deadline, episodes=6))
+    for label, deadline in DEADLINES:
+        task = make_lm_task(seed=seed, pretrain_epochs=pretrain_epochs)
+        rt3 = RT3(task, paper_scale_transformer(),
+                  small_rt3_config(deadline, episodes=episodes, seed=seed))
         res = rt3.search()
         # history[0] is the seeded heuristic baseline, evaluated from the
         # same backbone snapshot as every RL episode (fair comparison).
         heuristic = res.history[0]
         out[label] = (rt3, res, heuristic)
     return out
+
+
+def run_bench(episodes: int = 6, seed: int = 0, pretrain_epochs: int = 6,
+              explorations=None) -> dict:
+    """Machine-readable Figure 3 digest (points, fronts, best solutions).
+
+    ``explorations`` is an optional precomputed mapping so callers that
+    already ran the searches (the pytest shape tests, ``main``) do not
+    pay for them twice.
+    """
+    start = time.perf_counter()
+    if explorations is None:
+        explorations = run_explorations(episodes, seed, pretrain_epochs)
+    wall_s = time.perf_counter() - start
+
+    searches = {}
+    for label, (rt3, res, heuristic) in explorations.items():
+        pts = sorted(s.point for s in res.history if s.terms.deadline_met)
+        front = pareto_front(pts) if pts else []
+        h_aw = heuristic.terms.weighted_accuracy
+        searches[label] = {
+            "deadline_ms": 1e3 * rt3.cfg.deadline_s,
+            "num_episodes": len(res.history),
+            "num_feasible": len(pts),
+            "feasible_points": [[canon(aw), canon(runs, 3)] for aw, runs in pts],
+            "pareto_front": [[canon(aw), canon(runs, 3)] for aw, runs in front],
+            "best_weighted_accuracy": canon(res.best.terms.weighted_accuracy),
+            "best_reward": canon(res.best.terms.reward),
+            "heuristic_weighted_accuracy": None if h_aw != h_aw else canon(h_aw),
+            "original_accuracy": canon(res.original_accuracy),
+            "backbone_accuracy": canon(res.backbone_accuracy),
+            "min_sparsity": {
+                name: canon(rt3.space.sparsity_candidates[name][0])
+                for name in ("l3", "l4", "l6")},
+        }
+    return {
+        "bench": "fig3_pareto",
+        "seed": seed,
+        "episodes": episodes,
+        "pretrain_epochs": pretrain_epochs,
+        "searches": searches,
+        "wall_s": wall_s,
+    }
 
 
 def render(explorations) -> str:
@@ -62,9 +138,16 @@ def render(explorations) -> str:
     return "\n".join(lines)
 
 
+if pytest is not None:
+    @pytest.fixture(scope="module")
+    def explorations():
+        return run_explorations()
+
+
 def test_fig3_shape(benchmark, explorations):
     text = benchmark(render, explorations)
     write_result("fig3_pareto_exploration", text)
+    write_json_result("fig3", run_bench(explorations=explorations))
 
     loose = [s.point for s in explorations["loose-104ms"][1].history
              if s.terms.deadline_met]
@@ -121,3 +204,25 @@ def test_bench_pareto_front_kernel(benchmark):
            zip(rng.uniform(0.5, 1.0, 500), rng.uniform(1e5, 5e6, 500))]
     front = benchmark(pareto_front, pts)
     assert front
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run for CI (3 episodes, short pretrain)")
+    parser.add_argument("--episodes", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    episodes = args.episodes or (3 if args.smoke else 6)
+    pretrain = 3 if args.smoke else 6
+    explorations = run_explorations(episodes, args.seed, pretrain)
+    write_result("fig3_pareto_exploration", render(explorations))
+    digest = run_bench(episodes, args.seed, pretrain, explorations=explorations)
+    write_json_result("fig3", digest)
+    ok = all(s["num_feasible"] > 0 for s in digest["searches"].values())
+    print(f"smoke {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,34 @@ Regenerates the paper's qualitative observations:
 - kept positions overlap across sparsity levels far above chance (the
   "same shape" / "similar column characteristic" observation), because all
   sets derive from the same BP-guided importance maps.
+
+Besides the rendered side-by-side figure (informational,
+``benchmarks/results/fig4_patterns.txt``), ``run_bench`` writes a
+machine-readable digest (``benchmarks/results/BENCH_fig4.json``): one
+row per V/F level — nominal sparsity, pattern count and the SHA-1
+digests of every searched pattern — plus the cross-level overlap
+statistics.  The search-space derivation is a deterministic function of
+the seed recorded in the digest, so ``scripts/check_bench_regression.py``
+replays it and gates the level rows and overlap numbers by exact
+equality; wall time is informational.
 """
 
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
 import numpy as np
-import pytest
+
+try:  # the CI regression gate imports run_bench in a numpy-only env
+    import pytest
+except ModuleNotFoundError:
+    pytest = None
+
+if __package__ in (None, ""):  # run as a script
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
 from repro.core.patterns import MaskManager, pattern_mask_for_matrix
@@ -17,26 +41,77 @@ from repro.core.visualize import figure4_report, shared_positions
 from repro.hardware.dvfs import DVFSTable
 from repro.hardware.workload import paper_scale_transformer
 
-from benchmarks.common import make_lm_task, write_result
+from benchmarks.common import canon, make_lm_task, write_json_result, write_result
+
+DEADLINE_S = 0.104
+PATTERN_SIZE = 12
 
 
-@pytest.fixture(scope="module")
-def searched_sets():
-    task = make_lm_task(pretrain_epochs=2)
-    apply_report = apply_block_pruning(task.model, BlockPruningConfig(num_blocks=2, rate=0.3))
+def build_searched_sets(seed: int = 0, pretrain_epochs: int = 2):
+    """Derive one searched pattern set per V/F level from a BP backbone."""
+    task = make_lm_task(seed=seed, pretrain_epochs=pretrain_epochs)
+    apply_report = apply_block_pruning(
+        task.model, BlockPruningConfig(num_blocks=2, rate=0.3, seed=seed))
     manager = MaskManager(task.model, apply_report.masks)
     space = PatternSearchSpace(
         manager, paper_scale_transformer(), DVFSTable().subset(["l3", "l4", "l6"]),
-        deadline_s=0.104,
-        cfg=SearchSpaceConfig(pattern_size=12, theta=1, patterns_per_set=3, seed=0),
+        deadline_s=DEADLINE_S,
+        cfg=SearchSpaceConfig(pattern_size=PATTERN_SIZE, theta=1,
+                              patterns_per_set=3, seed=seed),
     )
     return {name: space.candidates[name][0] for name in space.level_names}
+
+
+def run_bench(seed: int = 0, pretrain_epochs: int = 2,
+              searched_sets=None) -> dict:
+    """Machine-readable Figure 4 digest (level rows + overlap stats).
+
+    ``searched_sets`` is an optional precomputed mapping so callers that
+    already derived the sets (the pytest shape test, ``main``) do not
+    pay for the derivation twice.
+    """
+    start = time.perf_counter()
+    if searched_sets is None:
+        searched_sets = build_searched_sets(seed=seed,
+                                            pretrain_epochs=pretrain_epochs)
+    wall_s = time.perf_counter() - start
+
+    levels = [{
+        "level": name,
+        "sparsity": canon(ps.sparsity),
+        "num_patterns": len(ps),
+        "pattern_size": ps.pattern_size,
+        "pattern_digests": sorted(p.digest() for p in ps),
+    } for name, ps in searched_sets.items()]
+
+    sparse = searched_sets["l3"][0]
+    dense = searched_sets["l6"][0]
+    return {
+        "bench": "fig4_patterns",
+        "seed": seed,
+        "pretrain_epochs": pretrain_epochs,
+        "deadline_ms": 1e3 * DEADLINE_S,
+        "levels": levels,
+        "overlap": {
+            "pair": "l3-l6",
+            "shared_kept": canon(shared_positions(sparse, dense)),
+            "chance": canon(1.0 - dense.sparsity),
+        },
+        "wall_s": wall_s,
+    }
+
+
+if pytest is not None:
+    @pytest.fixture(scope="module")
+    def searched_sets():
+        return build_searched_sets()
 
 
 def test_fig4_visualization(benchmark, searched_sets):
     report = benchmark(figure4_report, searched_sets)
     report += "\n\npaper shape: sparsity differs per level; kept positions overlap"
     write_result("fig4_patterns", report)
+    write_json_result("fig4", run_bench(searched_sets=searched_sets))
 
     # diverse sparsity across levels (l3 needs the sparsest patterns)
     s = {name: ps.sparsity for name, ps in searched_sets.items()}
@@ -68,3 +143,29 @@ def test_bench_pattern_application_kernel(benchmark, searched_sets):
     mask, ids = benchmark(pattern_mask_for_matrix, w, ps)
     assert mask.shape == w.shape
     assert ids.size == (3200 // 12 + 1) * (800 // 12 + 1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run for CI (1 pretrain epoch)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pretrain-epochs", type=int, default=None)
+    args = parser.parse_args(argv)
+    epochs = args.pretrain_epochs if args.pretrain_epochs is not None \
+        else (1 if args.smoke else 2)
+    sets = build_searched_sets(seed=args.seed, pretrain_epochs=epochs)
+    report = figure4_report(sets)
+    report += "\n\npaper shape: sparsity differs per level; kept positions overlap"
+    write_result("fig4_patterns", report)
+    digest = run_bench(seed=args.seed, pretrain_epochs=epochs,
+                       searched_sets=sets)
+    write_json_result("fig4", digest)
+    s = {name: ps.sparsity for name, ps in sets.items()}
+    ok = s["l3"] > s["l4"] > s["l6"]
+    print(f"smoke {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,39 +3,98 @@
 For every task, compare the trained dense score with the score after BP
 plus a short fine-tune, at a ~1.4x-2x compression ratio.  Paper shape:
 up to 2x compression with small average score loss (paper: 1.74% average).
+
+Besides the rendered table (informational,
+``benchmarks/results/fig5_block_pruning.txt``), ``run_bench`` writes a
+machine-readable digest (``benchmarks/results/BENCH_fig5.json``): one
+row per task — pruning rate, dense score, pruned score, score loss and
+compression ratio — plus the average loss.  Training is a deterministic
+function of the seeds and epoch counts recorded in the digest, so
+``scripts/check_bench_regression.py`` replays the committed
+configuration and gates the row set and average loss by exact equality;
+wall time is informational.
 """
 
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
 import numpy as np
-import pytest
+
+try:  # the CI regression gate imports run_bench in a numpy-only env
+    import pytest
+except ModuleNotFoundError:
+    pytest = None
+
+if __package__ in (None, ""):  # run as a script
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.block_pruning import BlockPruningConfig, apply_block_pruning
 from repro.core.trainer import train_plain
 from repro.data.glue import GLUE_TASKS
 
-from benchmarks.common import make_glue_task, make_lm_task, write_result
+from benchmarks.common import canon, make_glue_task, make_lm_task, write_json_result, write_result
 
 # pruning rate per task, mirroring the paper's per-task compression choices
 RATES = {"wikitext2": 0.45, "mnli": 0.4, "qqp": 0.5, "qnli": 0.4, "sst2": 0.5,
          "cola": 0.3, "stsb": 0.3, "mrpc": 0.4, "rte": 0.4, "wnli": 0.5}
+ALL_TASKS = ["wikitext2", *GLUE_TASKS]
+SMOKE_TASKS = ["wikitext2", "rte", "sst2"]
 
 
-def run_bp_experiment(task, rate):
+def run_bp_experiment(task, rate, finetune_epochs: int = 3):
     dense_score = task.evaluate()
     report = apply_block_pruning(task.model, BlockPruningConfig(num_blocks=2, rate=rate))
-    train_plain(task, epochs=3, lr=2e-3)
+    train_plain(task, epochs=finetune_epochs, lr=2e-3)
     pruned_score = task.evaluate()
     return dense_score, pruned_score, report
 
 
-@pytest.fixture(scope="module")
-def fig5_results():
+def run_experiments(tasks=None, pretrain_epochs: int = 6,
+                    finetune_epochs: int = 3) -> dict:
+    """BP-vs-dense for every requested task; returns rich result objects."""
     results = {}
-    lm = make_lm_task(pretrain_epochs=6)
-    results["wikitext2"] = run_bp_experiment(lm, RATES["wikitext2"])
-    for name in GLUE_TASKS:
-        task = make_glue_task(name, pretrain_epochs=6)
-        results[name] = run_bp_experiment(task, RATES[name])
+    for name in tasks or ALL_TASKS:
+        task = (make_lm_task(pretrain_epochs=pretrain_epochs) if name == "wikitext2"
+                else make_glue_task(name, pretrain_epochs=pretrain_epochs))
+        results[name] = run_bp_experiment(task, RATES[name], finetune_epochs)
     return results
+
+
+def run_bench(tasks=None, pretrain_epochs: int = 6, finetune_epochs: int = 3,
+              results=None) -> dict:
+    """Machine-readable Figure 5 digest (per-task rows + average loss).
+
+    ``results`` is an optional precomputed mapping so callers that
+    already ran the experiments (the pytest shape test, ``main``) do not
+    pay for the training twice.
+    """
+    start = time.perf_counter()
+    if results is None:
+        results = run_experiments(tasks, pretrain_epochs, finetune_epochs)
+    wall_s = time.perf_counter() - start
+
+    rows = [{
+        "task": name,
+        "rate": RATES[name],
+        "dense_score": canon(dense),
+        "pruned_score": canon(pruned),
+        "score_loss": canon(dense - pruned),
+        "compression": canon(report.compression_ratio),
+    } for name, (dense, pruned, report) in results.items()]
+    losses = [r["score_loss"] for r in rows]
+    return {
+        "bench": "fig5_block_pruning",
+        "tasks": [r["task"] for r in rows],
+        "pretrain_epochs": pretrain_epochs,
+        "finetune_epochs": finetune_epochs,
+        "rows": rows,
+        "mean_score_loss": canon(float(np.mean(losses))),
+        "wall_s": wall_s,
+    }
 
 
 def render(results) -> str:
@@ -53,9 +112,16 @@ def render(results) -> str:
     return "\n".join(lines)
 
 
+if pytest is not None:
+    @pytest.fixture(scope="module")
+    def fig5_results():
+        return run_experiments()
+
+
 def test_fig5_shape(benchmark, fig5_results):
     text = benchmark(render, fig5_results)
     write_result("fig5_block_pruning", text)
+    write_json_result("fig5", run_bench(results=fig5_results))
 
     losses = [dense - pruned for dense, pruned, _ in fig5_results.values()]
     ratios = [r.compression_ratio for _, _, r in fig5_results.values()]
@@ -85,3 +151,26 @@ def test_bench_bp_apply_kernel(benchmark):
 
     report = benchmark(apply)
     assert report.overall_sparsity == pytest.approx(0.5, abs=0.05)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run for CI (3 tasks, shorter training)")
+    parser.add_argument("--tasks", nargs="*", default=None,
+                        choices=ALL_TASKS)
+    args = parser.parse_args(argv)
+    tasks = args.tasks or (SMOKE_TASKS if args.smoke else ALL_TASKS)
+    pretrain, finetune = (3, 2) if args.smoke else (6, 3)
+    results = run_experiments(tasks, pretrain, finetune)
+    write_result("fig5_block_pruning", render(results))
+    digest = run_bench(tasks, pretrain, finetune, results=results)
+    write_json_result("fig5", digest)
+    ok = (all(r["compression"] > 1.2 for r in digest["rows"])
+          and digest["mean_score_loss"] < 0.15)
+    print(f"smoke {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -420,6 +420,306 @@ class TestCompareForward:
         assert "cases.serve.b1.speedup" in info
 
 
+def fig3_digest(best_aw=0.62, best_reward=0.55, front=None, feasible=6,
+                l3=0.3):
+    front = front if front is not None else [[0.58, 1.2e6], [0.62, 9.5e5]]
+    return {
+        "bench": "fig3_pareto",
+        "seed": 0, "episodes": 6, "pretrain_epochs": 6,
+        "searches": {
+            "loose-104ms": {
+                "deadline_ms": 104.0,
+                "num_episodes": 6,
+                "num_feasible": feasible,
+                "feasible_points": front,
+                "pareto_front": front,
+                "best_weighted_accuracy": best_aw,
+                "best_reward": best_reward,
+                "heuristic_weighted_accuracy": 0.55,
+                "original_accuracy": 0.66,
+                "backbone_accuracy": 0.64,
+                "min_sparsity": {"l3": l3, "l4": 0.4, "l6": 0.6},
+            },
+        },
+        "wall_s": 12.0,
+    }
+
+
+class TestCompareFig3:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_fig3(fig3_digest(), fig3_digest())
+        assert all(verdicts(findings).values())
+
+    def test_dropped_pareto_point_fails(self):
+        # the replayed front no longer reaches the second committed point
+        fresh = fig3_digest(front=[[0.58, 1.2e6]])
+        findings = gate.compare_fig3(fig3_digest(), fresh)
+        assert verdicts(findings)["searches.loose-104ms.pareto[1]"] is False
+
+    def test_dominating_front_passes(self):
+        fresh = fig3_digest(front=[[0.60, 1.3e6], [0.64, 9.6e5]])
+        findings = gate.compare_fig3(fig3_digest(), fresh)
+        assert all(v for k, v in verdicts(findings).items() if "pareto" in k)
+
+    def test_accuracy_regression_beyond_budget_fails(self):
+        findings = gate.compare_fig3(fig3_digest(), fig3_digest(best_aw=0.55))
+        got = verdicts(findings)
+        assert got["searches.loose-104ms.best_weighted_accuracy"] is False
+
+    def test_accuracy_drift_within_budget_passes(self):
+        findings = gate.compare_fig3(fig3_digest(), fig3_digest(best_aw=0.61))
+        got = verdicts(findings)
+        assert got["searches.loose-104ms.best_weighted_accuracy"] is True
+
+    def test_lost_feasible_points_fail(self):
+        findings = gate.compare_fig3(fig3_digest(), fig3_digest(feasible=4))
+        assert verdicts(findings)["searches.loose-104ms.num_feasible"] is False
+
+    def test_sparsity_grid_drift_fails(self):
+        findings = gate.compare_fig3(fig3_digest(), fig3_digest(l3=0.25))
+        got = verdicts(findings)
+        assert got["searches.loose-104ms.min_sparsity.l3"] is False
+
+    def test_missing_search_fails(self):
+        fresh = fig3_digest()
+        fresh["searches"] = {}
+        findings = gate.compare_fig3(fig3_digest(), fresh)
+        assert verdicts(findings)["searches.loose-104ms"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = fig3_digest()
+        fresh["wall_s"] = 1e6
+        findings = gate.compare_fig3(fig3_digest(), fresh)
+        assert all(verdicts(findings).values())
+
+
+def fig4_digest(sparsity=0.5625, digests=("a1b2", "c3d4", "e5f6"),
+                shared=0.41):
+    return {
+        "bench": "fig4_patterns",
+        "seed": 0, "pretrain_epochs": 2, "deadline_ms": 104.0,
+        "levels": [{"level": "l3", "sparsity": sparsity, "num_patterns": 3,
+                    "pattern_size": 12, "pattern_digests": list(digests)}],
+        "overlap": {"pair": "l3-l6", "shared_kept": shared, "chance": 0.33},
+        "wall_s": 3.0,
+    }
+
+
+class TestCompareFig4:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_fig4(fig4_digest(), fig4_digest())
+        assert all(verdicts(findings).values())
+
+    def test_pattern_content_drift_fails(self):
+        # same sparsity/counts but different searched patterns
+        fresh = fig4_digest(digests=("a1b2", "c3d4", "ffff"))
+        findings = gate.compare_fig4(fig4_digest(), fresh)
+        assert verdicts(findings)["levels.row_set"] is False
+
+    def test_sparsity_drift_fails(self):
+        findings = gate.compare_fig4(fig4_digest(), fig4_digest(sparsity=0.5))
+        assert verdicts(findings)["levels.row_set"] is False
+
+    def test_overlap_drift_fails(self):
+        findings = gate.compare_fig4(fig4_digest(), fig4_digest(shared=0.5))
+        assert verdicts(findings)["overlap.shared_kept"] is False
+
+
+def fig5_digest(pruned=0.55, mean_loss=0.02):
+    rows = [{"task": "wikitext2", "rate": 0.3, "dense_score": 0.57,
+             "pruned_score": pruned, "score_loss": round(0.57 - pruned, 9),
+             "compression": 1.43}]
+    return {"bench": "fig5_block_pruning", "tasks": ["wikitext2"],
+            "pretrain_epochs": 6, "finetune_epochs": 3, "rows": rows,
+            "mean_score_loss": mean_loss, "wall_s": 9.0}
+
+
+class TestCompareFig5:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_fig5(fig5_digest(), fig5_digest())
+        assert all(verdicts(findings).values())
+
+    def test_score_drift_fails(self):
+        findings = gate.compare_fig5(fig5_digest(), fig5_digest(pruned=0.54))
+        assert verdicts(findings)["rows.row_set"] is False
+
+    def test_mean_loss_drift_fails(self):
+        findings = gate.compare_fig5(fig5_digest(),
+                                     fig5_digest(mean_loss=0.03))
+        assert verdicts(findings)["mean_score_loss"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = fig5_digest()
+        fresh["wall_s"] = 1e6
+        findings = gate.compare_fig5(fig5_digest(), fresh)
+        assert all(verdicts(findings).values())
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "wall_s" in info
+
+
+def table3_digest(best_reward=0.52, rt3=0.60, meets=True, speedup=5200.0,
+                  switch_ms=8.75, floor=1000.0, episodes=4):
+    trajectory = [None, 0.4] + [best_reward] * (episodes - 2)
+    return {
+        "bench": "table3_automl", "seed": 0, "episodes": episodes,
+        "experiments": {
+            "WikiText-2 (T:104ms)": {
+                "deadline_ms": 104.0,
+                "levels": [{"level": "l6", "sparsity": 0.56,
+                            "latency_ms": 95.2, "ub_score": 0.62,
+                            "rt3_score": rt3, "meets_deadline": meets}],
+                "best_reward": best_reward,
+                "best_reward_trajectory": trajectory,
+                "ub_reload_ms": speedup * switch_ms,
+                "rt3_switch_ms": switch_ms,
+                "switch_speedup": speedup,
+            },
+        },
+        "min_switch_speedup": floor,
+        "wall_s": 30.0,
+    }
+
+
+class TestCompareTable3:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_table3(table3_digest(), table3_digest())
+        assert all(verdicts(findings).values())
+
+    def test_deadline_verdict_flip_fails(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(meets=False))
+        assert verdicts(findings)["verdicts.row_set"] is False
+
+    def test_best_reward_regression_beyond_budget_fails(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(best_reward=0.40))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).best_reward"] is False
+
+    def test_best_reward_drift_within_budget_passes(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(best_reward=0.48))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).best_reward"] is True
+
+    def test_rt3_score_regression_fails(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(rt3=0.50))
+        got = verdicts(findings)
+        key = "experiments.WikiText-2 (T:104ms).levels.l6.rt3_score"
+        assert got[key] is False
+
+    def test_switch_speedup_below_floor_fails(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(speedup=800.0))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).switch_speedup"] is False
+
+    def test_baseline_floor_is_authoritative(self):
+        # a fresh run cannot lower the gate by shipping a smaller floor
+        findings = gate.compare_table3(table3_digest(floor=2000.0),
+                                       table3_digest(speedup=1500.0,
+                                                     floor=1.0))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).switch_speedup"] is False
+
+    def test_switch_cost_rise_beyond_budget_fails(self):
+        findings = gate.compare_table3(
+            table3_digest(), table3_digest(switch_ms=8.75 * 1.2,
+                                           speedup=5200.0 / 1.2))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).rt3_switch_ms"] is False
+
+    def test_shortened_trajectory_fails(self):
+        findings = gate.compare_table3(table3_digest(),
+                                       table3_digest(episodes=3))
+        got = verdicts(findings)
+        assert got["experiments.WikiText-2 (T:104ms).trajectory_len"] is False
+
+    def test_missing_experiment_fails(self):
+        fresh = table3_digest()
+        fresh["experiments"] = {}
+        findings = gate.compare_table3(table3_digest(), fresh)
+        assert verdicts(findings)["experiments.WikiText-2 (T:104ms)"] is False
+
+
+def table4_digest(rt3_impr=4.9):
+    rows = [
+        {"task": "wikitext2", "method": "No-Opt", "avg_sparsity": 0.0,
+         "runs": 1.2e6, "improvement": 1.0, "avg_accuracy": 0.57,
+         "accuracy_loss": 0.0},
+        {"task": "wikitext2", "method": "RT3", "avg_sparsity": 0.55,
+         "runs": 1.2e6 * rt3_impr, "improvement": rt3_impr,
+         "avg_accuracy": 0.56, "accuracy_loss": 0.01},
+    ]
+    return {"bench": "table4_ablation", "tasks": ["wikitext2"],
+            "episodes": {"wikitext2": 4}, "pretrain_epochs": 6,
+            "finetune_epochs": 2, "rows": rows, "wall_s": 40.0}
+
+
+class TestCompareTable4:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_table4(table4_digest(), table4_digest())
+        assert all(verdicts(findings).values())
+
+    def test_perturbed_row_fails(self):
+        findings = gate.compare_table4(table4_digest(),
+                                       table4_digest(rt3_impr=4.5))
+        assert verdicts(findings)["rows.row_set"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = table4_digest()
+        fresh["wall_s"] = 1e6
+        findings = gate.compare_table4(table4_digest(), fresh)
+        assert all(verdicts(findings).values())
+
+
+def ablations_digest(reward=0.5, total_runs=2.1e6, acc=0.6):
+    return {
+        "bench": "design_ablations", "seed": 0, "episodes": 3,
+        "pretrain_epochs": 3,
+        "pattern_size": [{"psize": 10, "latency_ms": 98.1,
+                          "overhead_cycles": 5.0e4}],
+        "governor": [{"thresholds": [0.1, 0.3], "low_energy_fraction": 0.4,
+                      "total_runs": total_runs}],
+        "kernels": [{"kernel": "pattern", "macs": 131072, "index_ops": 12,
+                     "weighted_total": 1.4e5}],
+        "space_size": [{"theta": 1, "m": 1, "best_reward": reward,
+                        "best_weighted_accuracy": acc}],
+        "wall_s": 20.0,
+    }
+
+
+class TestCompareAblations:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_ablations(ablations_digest(),
+                                          ablations_digest())
+        assert all(verdicts(findings).values())
+
+    def test_governor_row_drift_fails(self):
+        findings = gate.compare_ablations(ablations_digest(),
+                                          ablations_digest(total_runs=2.2e6))
+        assert verdicts(findings)["governor.row_set"] is False
+
+    def test_reward_regression_beyond_budget_fails(self):
+        findings = gate.compare_ablations(ablations_digest(),
+                                          ablations_digest(reward=0.40))
+        got = verdicts(findings)
+        assert got["space_size.theta1_m1.best_reward"] is False
+
+    def test_reward_drift_within_budget_passes(self):
+        findings = gate.compare_ablations(ablations_digest(),
+                                          ablations_digest(reward=0.46))
+        assert all(verdicts(findings).values())
+
+    def test_dropped_space_point_fails(self):
+        fresh = ablations_digest()
+        fresh["space_size"] = []
+        findings = gate.compare_ablations(ablations_digest(), fresh)
+        got = verdicts(findings)
+        assert got["space_size.theta1_m1.best_reward"] is False
+
+
 class TestRender:
     def test_render_marks_failures(self):
         findings = gate.compare(digest(), digest(sim_rps=1000.0))
@@ -443,26 +743,48 @@ class TestMainEntry:
         assert code == 2
         assert "no committed baseline" in capsys.readouterr().err
 
+    def test_every_bench_has_override_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            gate.main(["--help"])
+        helptext = capsys.readouterr().out
+        for name in gate.BENCHES:
+            assert f"--{name}-baseline" in helptext
+            assert f"--{name}-fresh-output" in helptext
+        # serve's historical short flags stay as aliases
+        assert "--baseline" in helptext and "--fresh-output" in helptext
+
+    def test_update_baseline_round_trip(self, tmp_path):
+        # a stale baseline fails the gate, --update-baseline refreshes it
+        # in place, and the refreshed file then passes
+        committed = json.loads(gate.BENCHES["table"].baseline_path.read_text())
+        committed["levels"][0]["power_w"] *= 2.0
+        baseline = tmp_path / "BENCH_table.json"
+        baseline.write_text(json.dumps(committed))
+        fresh = tmp_path / "BENCH_table.fresh.json"
+        argv = ["--bench", "table", "--table-baseline", str(baseline),
+                "--table-fresh-output", str(fresh),
+                "--output", str(tmp_path / "report.json")]
+        assert gate.main(argv) == 1
+        assert gate.main(argv + ["--update-baseline"]) == 0
+        assert json.loads(baseline.read_text()) == json.loads(fresh.read_text())
+        assert gate.main(argv) == 0
+
     @pytest.mark.slow
     def test_end_to_end_pass_and_report(self, tmp_path, capsys):
         out = tmp_path / "report.json"
-        fresh = {name: tmp_path / f"{name}_fresh.json"
-                 for name in ("serve", "kernels", "stream", "table",
-                              "table2", "forward")}
-        code = gate.main([
-            "--output", str(out),
-            "--fresh-output", str(fresh["serve"]),
-            "--kernels-fresh-output", str(fresh["kernels"]),
-            "--stream-fresh-output", str(fresh["stream"]),
-            "--table-fresh-output", str(fresh["table"]),
-            "--table2-fresh-output", str(fresh["table2"]),
-            "--forward-fresh-output", str(fresh["forward"])])
+        argv = ["--output", str(out)]
+        fresh = {}
+        for name in gate.BENCHES:
+            fresh[name] = tmp_path / f"{name}_fresh.json"
+            argv += [f"--{name}-fresh-output", str(fresh[name])]
+        code = gate.main(argv)
         assert code == 0
         assert out.exists()
         # no hidden write into the repo tree
         assert all(path.exists() for path in fresh.values())
         report = json.loads(out.read_text())
-        assert set(report["benches"]) == {"serve", "kernels", "stream",
-                                          "table", "table2", "forward"}
+        assert set(report["benches"]) == set(gate.BENCHES)
+        assert report["registry"] == list(gate.BENCHES)
+        assert report["failures"] == 0
         assert report["ok"] is True
         assert "no bench regression detected" in capsys.readouterr().out
