@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """CI multi-bench regression gate over every committed paper artifact.
 
-Twelve benches are registered, covering the full paper surface (Tables
+Thirteen benches are registered, covering the full paper surface (Tables
 I-IV, Figures 3-5, the design ablations) plus the serving/kernel/forward
-performance benches.  For every registered bench the gate loads the
+/decode performance benches.  For every registered bench the gate loads the
 committed ``benchmarks/results/BENCH_<name>.json`` baseline *before*
 anything can overwrite it, re-runs the bench at the baseline's own
 recorded configuration (seeds, episode counts, task lists), and fails
@@ -27,6 +27,10 @@ when the fresh run regresses.  Per-bench rules:
              node/alloc-count drift, float32 tolerance breach, or the
              compiled plan falling below its committed speedup floor
              fails.
+``generate`` any compiled-decode bit-exactness breach — tokens or
+             logprobs, solo or under the ragged continuous-batching
+             schedule, on any committed case — fails, as does the
+             per-token speedup dropping below the committed floor.
 ``table``    the Table-I V/F row set must match exactly (it is paper
              configuration); modelled power gets a 1% band.
 ``table2``   the Table-II reconfiguration row set and E1/E2/E3 run
@@ -65,7 +69,7 @@ never gated.  The shared comparison report lands in
 artifact next to the ``BENCH_<name>.fresh.json`` digests).  After an
 intentional performance change, regenerate and commit the baselines with
 ``--update-baseline``.  See ``docs/benchmarks.md`` for the full
-bench/gate contract and how to register bench #13.
+bench/gate contract and how to register bench #14.
 """
 
 from __future__ import annotations
@@ -358,6 +362,71 @@ def compare_forward(baseline: dict, fresh: dict) -> List[dict]:
         "ok": speedup is not None and floor is not None and speedup >= floor,
         "note": f"compiled forward must stay >= {floor}x over the eager "
                 "path on the acceptance case (same-machine ratio)"})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# generate (decode-plane) bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+def compare_generate(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two decode-plane digests; one finding per checked metric.
+
+    Coverage is anchored on the baseline: a case present in the
+    committed digest but absent from the fresh run fails.  Exactness is
+    unconditional — the compiled KV-cached decode must reproduce the
+    eager loop's tokens *and* logprobs bit for bit, solo and under the
+    ragged continuous-batching schedule.
+    """
+    findings: List[dict] = []
+    for name in baseline.get("cases", {}):
+        if name not in fresh.get("cases", {}):
+            findings.append({
+                "metric": f"cases.{name}", "baseline": None, "fresh": None,
+                "gated": True, "ok": False,
+                "note": "gated case missing from fresh run"})
+    for name, case in fresh.get("cases", {}).items():
+        findings.append({
+            "metric": f"cases.{name}.exact", "baseline": 1.0,
+            "fresh": float(bool(case.get("exact"))), "gated": True,
+            "ok": bool(case.get("exact")),
+            "note": "compiled decode tokens + logprobs must be "
+                    "bit-identical to the eager loop"})
+        err = case.get("max_abs_err")
+        findings.append({
+            "metric": f"cases.{name}.max_abs_err", "baseline": 0.0,
+            "fresh": err, "gated": True, "ok": err == 0.0,
+            "note": "float64 logprobs must match exactly (==, not "
+                    "allclose)"})
+        findings.append({
+            "metric": f"cases.{name}.ragged_exact", "baseline": 1.0,
+            "fresh": float(bool(case.get("ragged_exact"))), "gated": True,
+            "ok": bool(case.get("ragged_exact")),
+            "note": "streams joining/leaving the rolling batch must stay "
+                    "bit-identical to their solo eager runs"})
+        findings.append({
+            "metric": f"cases.{name}.speedup",
+            "baseline": baseline.get("cases", {}).get(name, {}).get("speedup"),
+            "fresh": case.get("speedup"), "gated": False, "ok": True,
+            "note": "informational (wall-clock / runner-dependent)"})
+    acc = fresh.get("acceptance", {})
+    speedup = acc.get("speedup")
+    # the committed baseline's floor is authoritative: a PR cannot lower
+    # the gate by editing the bench's own threshold constant
+    floor = baseline.get("acceptance", {}).get("min_speedup",
+                                               acc.get("min_speedup"))
+    findings.append({
+        "metric": "acceptance.speedup", "baseline": floor, "fresh": speedup,
+        "gated": True,
+        "ok": speedup is not None and floor is not None and speedup >= floor,
+        "note": f"KV-cached decode must stay >= {floor}x per token over "
+                "the eager loop on the acceptance case (same-machine "
+                "ratio)"})
+    findings.append(find_info("batching.speedup",
+                              _lookup(baseline, "batching.speedup"),
+                              _lookup(fresh, "batching.speedup"),
+                              note="informational (continuous-batching "
+                                   "wall-clock ratio)"))
     return findings
 
 
@@ -771,6 +840,16 @@ def run_fresh_forward(baseline: dict) -> dict:
                      repeats=int(baseline.get("repeats", 5)))
 
 
+def run_fresh_generate(baseline: dict) -> dict:
+    """Re-run the decode-plane bench at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_generate import run_bench
+
+    return run_bench(smoke=bool(baseline.get("smoke", False)),
+                     seed=int(baseline.get("seed", 0)),
+                     repeats=int(baseline.get("repeats", 5)))
+
+
 def run_fresh_fig3(baseline: dict) -> dict:
     """Replay the Figure 3 Pareto exploration at the committed seed."""
     _import_benchmarks()
@@ -865,6 +944,9 @@ BENCHES: Dict[str, BenchSpec] = {
     "forward": BenchSpec("forward", RESULTS / "BENCH_forward.json",
                          RESULTS / "BENCH_forward.fresh.json",
                          run_fresh_forward, compare_forward),
+    "generate": BenchSpec("generate", RESULTS / "BENCH_generate.json",
+                          RESULTS / "BENCH_generate.fresh.json",
+                          run_fresh_generate, compare_generate),
     "fig3": BenchSpec("fig3", RESULTS / "BENCH_fig3.json",
                       RESULTS / "BENCH_fig3.fresh.json",
                       run_fresh_fig3, compare_fig3),

@@ -8,7 +8,11 @@ Commands:
   exporting a deployment bundle and a JSON report
 - ``rt3 ablation``  — the Table-IV six-way ablation on a synthetic task
 - ``rt3 serve``     — batched serving of a synthetic traffic scenario
-  through the masked model with mask/format caching
+  through the masked model with mask/format caching (``--decode-streams``
+  converts part of the trace into continuously-batched decode streams)
+- ``rt3 generate``  — token-by-token generation through the KV-cached
+  compiled decode plane: staggered streams join and leave a rolling
+  batch (``--check`` re-runs eagerly and demands ``==`` outputs)
 
 All commands run offline on the synthetic substrates; sizes are laptop
 scale by default and adjustable via flags.
@@ -191,6 +195,7 @@ def cmd_ablation(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.serve import (
+        DecodeOptions,
         ScenarioConfig,
         StackConfig,
         build_scenario,
@@ -198,6 +203,10 @@ def cmd_serve(args) -> int:
         stream_scenario,
     )
 
+    decode_opts = DecodeOptions(
+        max_new_tokens=args.decode_max_new_tokens, top_k=args.decode_top_k,
+        temperature=args.decode_temperature, seed=args.decode_seed,
+        eos_id=args.decode_eos_id, fast_forward=not args.no_fast_forward)
     _, workload, engine = build_serving_stack(StackConfig(
         dim=args.dim, vocab_size=args.vocab_size, seq_len=args.seq_len,
         max_len=args.max_len, pattern_size=args.pattern_size, seed=args.seed,
@@ -208,14 +217,29 @@ def cmd_serve(args) -> int:
         time_sliced=not args.no_time_slice, drain_policy=args.drain_policy,
         fairness_window=args.fairness_window,
         adaptive_low_threshold=args.adaptive_low_threshold,
-        fast_forward=not args.no_fast_forward,
+        decode=decode_opts,
         streaming=args.streaming,
         max_wait_s=(args.max_wait_ms / 1e3
                     if args.max_wait_ms is not None else None)))
     scenario_cfg = ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
         seq_len=args.seq_len, max_len=args.max_len, seed=args.seed)
-    if args.streaming:
+    if args.decode_streams > 0:
+        # mixed traffic: the first N arrivals become continuously-batched
+        # decode streams (prompt continued token-by-token on the shard's
+        # decode lane); the rest stay one-shot batch requests
+        trace = build_scenario(args.scenario, workload, scenario_cfg)
+        ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        decode_ids = {r.req_id for r in ordered[:args.decode_streams]}
+        core = engine if args.streaming else engine.streaming()
+        for req in ordered:
+            if req.req_id in decode_ids:
+                core.submit_decode(req)
+            else:
+                core.submit(req)
+        core.drain()
+        report = core.report()
+    elif args.streaming:
         # online path: the lazy arrival stream is fed through the event
         # loop one request at a time (StreamingEngine.play owns the
         # feeding discipline), forming micro-batches at admission time
@@ -243,6 +267,85 @@ def cmd_serve(args) -> int:
               f"{report.max_verify_error:.3e} ({'OK' if ok else 'MISMATCH'})")
         if not ok:
             return 1
+    return 0
+
+
+def _run_decode_schedule(model, prompts, cfg, *, compiled):
+    """Staggered continuous-batching schedule: one stream joins per step."""
+    from repro.nn.generation import DecodeSession
+
+    session = DecodeSession(model, cfg, compiled=compiled)
+    try:
+        sids = [session.submit_prompt(prompts[0])]
+        queue = list(prompts[1:])
+        steps = 0
+        while queue or not session.finished():
+            if not session.finished():
+                session.step()
+                steps += 1
+            if queue:
+                sids.append(session.submit_prompt(queue.pop(0)))
+        results = [session.result(sid) for sid in sids]
+    finally:
+        session.close()
+    return results, steps, session.decoder is not None
+
+
+def cmd_generate(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.nn.generation import GenerationConfig
+    from repro.serve import StackConfig, build_serving_stack
+
+    model, _, _ = build_serving_stack(StackConfig(
+        dim=args.dim, vocab_size=args.vocab_size, max_len=args.max_len,
+        pattern_size=args.pattern_size, seed=args.seed))
+    cfg = GenerationConfig(
+        max_new_tokens=args.max_new_tokens, top_k=args.top_k,
+        temperature=args.temperature, seed=args.sample_seed,
+        eos_id=args.eos_id).validate()
+    rng = np.random.default_rng(args.seed)
+    if args.prompt:
+        prompts = [[int(tok) for tok in args.prompt.split(",")]]
+    else:
+        prompts = [rng.integers(0, args.vocab_size,
+                                size=int(rng.integers(2, args.max_len))).tolist()
+                   for _ in range(args.num_streams)]
+
+    start = time.perf_counter()
+    results, steps, used_plane = _run_decode_schedule(
+        model, prompts, cfg, compiled=not args.eager)
+    wall = time.perf_counter() - start
+    new_tokens = sum(len(r.generated) for r in results)
+
+    summary = {
+        "streams": len(results),
+        "steps": steps,
+        "new_tokens": new_tokens,
+        "compiled_decode": used_plane and not args.eager,
+        "wall_ms": round(wall * 1e3, 3),
+        "tokens_per_s": round(new_tokens / wall, 1) if wall > 0 else None,
+        "outputs": [{"prompt_len": len(p),
+                     "generated": [int(t) for t in r.generated]}
+                    for p, r in zip(prompts, results)],
+    }
+    if args.check:
+        ref, _, _ = _run_decode_schedule(model, prompts, cfg, compiled=False)
+        exact = all(
+            np.array_equal(a.tokens, b.tokens)
+            and list(a.logprobs) == list(b.logprobs)
+            for a, b in zip(results, ref))
+        summary["check_exact"] = exact
+    print(json.dumps(summary, indent=2))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"report written to {args.output}")
+    if args.check and not summary["check_exact"]:
+        print("compiled decode does not match eager generation", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -312,7 +415,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve through the eager autograd Tensor "
                               "forward instead of the compiled zero-autograd "
                               "ndarray plan (outputs are bit-identical; the "
-                              "compiled plan is faster)")
+                              "compiled plan is faster); also disables the "
+                              "KV-cached decode plane")
+    p_serve.add_argument("--decode-streams", type=int, default=0,
+                         help="serve the first N arrivals as decode streams: "
+                              "each prompt is continued token-by-token on "
+                              "its shard's continuously-batched decode lane")
+    p_serve.add_argument("--decode-max-new-tokens", type=int, default=8,
+                         help="token budget per decode stream")
+    p_serve.add_argument("--decode-top-k", type=int, default=None,
+                         help="decode sampling: top-k (default greedy)")
+    p_serve.add_argument("--decode-temperature", type=float, default=1.0,
+                         help="decode sampling temperature")
+    p_serve.add_argument("--decode-seed", type=int, default=None,
+                         help="decode sampling seed (per-stream RNG)")
+    p_serve.add_argument("--decode-eos-id", type=int, default=None,
+                         help="token id ending a decode stream early")
     p_serve.add_argument("--streaming", action="store_true",
                          help="feed the scenario arrival-by-arrival through "
                               "the online submit/tick/drain event loop "
@@ -343,6 +461,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--output", help="write the JSON summary here")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_gen = sub.add_parser(
+        "generate", help="KV-cached continuous-batching generation demo")
+    p_gen.add_argument("--prompt", default=None,
+                       help="comma-separated token ids for a single stream "
+                            "(default: --num-streams random prompts)")
+    p_gen.add_argument("--num-streams", type=int, default=4,
+                       help="random decode streams joining one per step "
+                            "(continuous batching: ragged joins/leaves)")
+    p_gen.add_argument("--max-new-tokens", type=int, default=12)
+    p_gen.add_argument("--top-k", type=int, default=None,
+                       help="top-k sampling (default greedy argmax)")
+    p_gen.add_argument("--temperature", type=float, default=1.0)
+    p_gen.add_argument("--sample-seed", type=int, default=None,
+                       help="per-stream sampling RNG seed")
+    p_gen.add_argument("--eos-id", type=int, default=None,
+                       help="token id that ends a stream early")
+    p_gen.add_argument("--eager", action="store_true",
+                       help="decode through the eager Tensor forward instead "
+                            "of the compiled KV-cached plane (same bits)")
+    p_gen.add_argument("--check", action="store_true",
+                       help="re-run the same schedule eagerly and require "
+                            "bit-identical tokens and logprobs")
+    p_gen.add_argument("--dim", type=int, default=32)
+    p_gen.add_argument("--vocab-size", type=int, default=60)
+    p_gen.add_argument("--max-len", type=int, default=16)
+    p_gen.add_argument("--pattern-size", type=int, default=8)
+    p_gen.add_argument("--seed", type=int, default=0,
+                       help="model weights + prompt RNG seed")
+    p_gen.add_argument("--output", help="write the JSON summary here")
+    p_gen.set_defaults(fn=cmd_generate)
     return parser
 
 

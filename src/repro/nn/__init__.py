@@ -34,11 +34,21 @@ from repro.nn.distilbert import DistilBertConfig, DistilBertModel, DistilBertFor
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.nn.masked_optim import MaskedAdam
 from repro.nn.lr_scheduler import ConstantLR, LinearWarmupDecay, StepLR
-from repro.nn.generation import GenerationResult, generate, generate_with_deadline
+from repro.nn.generation import (
+    DecodeSession,
+    GenerationConfig,
+    GenerationResult,
+    generate,
+    generate_with_deadline,
+    sample_token,
+)
 from repro.nn.inference import (
+    CompiledDecode,
     CompiledForward,
+    DecodeState,
     ScratchPool,
     UnsupportedModel,
+    compile_decode,
     compile_inference,
 )
 from repro.nn.training import FitConfig, TrainingHistory, fit
@@ -71,13 +81,19 @@ __all__ = [
     "ConstantLR",
     "LinearWarmupDecay",
     "StepLR",
+    "CompiledDecode",
     "CompiledForward",
+    "DecodeState",
     "ScratchPool",
     "UnsupportedModel",
+    "compile_decode",
     "compile_inference",
+    "DecodeSession",
+    "GenerationConfig",
     "GenerationResult",
     "generate",
     "generate_with_deadline",
+    "sample_token",
     "FitConfig",
     "TrainingHistory",
     "fit",

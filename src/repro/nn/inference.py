@@ -63,8 +63,8 @@ from repro.nn.transformer import (
 )
 from repro.tensor.functional import _GELU_C
 
-__all__ = ["CompiledForward", "ScratchPool", "UnsupportedModel",
-           "compile_inference"]
+__all__ = ["CompiledDecode", "CompiledForward", "DecodeState", "ScratchPool",
+           "UnsupportedModel", "compile_decode", "compile_inference"]
 
 DTYPES = ("float64", "float32")
 
@@ -86,25 +86,31 @@ class ScratchPool:
     with ``out=``).  ``misses`` counts real ``np.empty`` allocations, the
     number the forward bench reports: after the first forward of a given
     shape it stays flat.
+
+    Free lists are keyed on ``(shape, dtype)``: a float32 opt-in plan and
+    the float64 KV caches of a decode plane can share one pool without a
+    same-shape buffer of the wrong precision ever being handed back out.
     """
 
     def __init__(self, dtype: np.dtype, per_shape_cap: int = 4) -> None:
         self.dtype = np.dtype(dtype)
         self.per_shape_cap = per_shape_cap
-        self._free: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
 
-    def take(self, shape: Tuple[int, ...]) -> np.ndarray:
-        stack = self._free.get(shape)
+    def take(self, shape: Tuple[int, ...],
+             dtype: Optional[np.dtype] = None) -> np.ndarray:
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        stack = self._free.get((shape, dtype))
         if stack:
             self.hits += 1
             return stack.pop()
         self.misses += 1
-        return np.empty(shape, dtype=self.dtype)
+        return np.empty(shape, dtype=dtype)
 
     def give(self, arr: np.ndarray) -> None:
-        stack = self._free.setdefault(arr.shape, [])
+        stack = self._free.setdefault((arr.shape, arr.dtype), [])
         if len(stack) < self.per_shape_cap:
             stack.append(arr)
 
@@ -568,6 +574,419 @@ class CompiledForward:
         if tokens.ndim != 2:
             raise ValueError("compiled forward expects (batch, length) tokens")
         return self._forward(tokens, attn_mask)
+
+
+class DecodeState:
+    """Per-stream decoder self-attention K/V rows, allocated from the plan's
+    :class:`ScratchPool` (dtype-keyed, so a float32 plan and these float64
+    rows coexist).  ``rows`` counts how many leading positions hold valid
+    projections; ``epoch`` ties the rows to one compile epoch of the
+    owning :class:`CompiledDecode` — a mask re-install bumps the epoch and
+    the next ``decode_step`` rebuilds the rows from scratch."""
+
+    __slots__ = ("k", "v", "rows", "epoch", "_pool")
+
+    def __init__(self, decode: "CompiledDecode") -> None:
+        cfg = decode.model.cfg
+        self._pool = decode.plan.pool
+        self.k = self._pool.take((cfg.max_len, cfg.dim))
+        self.v = self._pool.take((cfg.max_len, cfg.dim))
+        self.rows = 0
+        self.epoch = decode.epoch
+
+    def invalidate(self) -> None:
+        self.rows = 0
+
+    def release(self) -> None:
+        """Hand the K/V buffers back to the pool (state becomes unusable)."""
+        if self.k is not None:
+            self._pool.give(self.k)
+            self._pool.give(self.v)
+            self.k = self.v = None
+
+
+class CompiledDecode:
+    """Stateful single-token decode plane over a :class:`CompiledForward`.
+
+    The architecture's forward re-encodes the *whole* context through the
+    bidirectional encoder every step — appending a token changes every
+    encoder output, so nothing on that side is cacheable.  What *is*
+    position-stable is the decoder's self-attention input (the token
+    embeddings), so for single-decoder-layer models ``decode_step`` keeps
+    per-stream K/V rows (:class:`DecodeState`) and pushes only the last
+    **two** positions through the decoder, discarding the penultimate row.
+    Two, not one: OpenBLAS picks a different kernel for ``M == 1`` GEMMs
+    whose rows do not bitwise match the rows of larger GEMMs, while every
+    ``M >= 2`` row is bitwise independent of its batch-mates — the
+    invariant that makes the float64 decode plane ``==``-identical to the
+    eager per-token forward (asserted by tests and ``bench_generate``).
+
+    The same invariant makes *continuous batching* exact: stacking G
+    equal-length streams into one ``(G, L)`` step yields, per stream, the
+    identical bits a solo run would — streams can join and leave a rolling
+    batch at any token boundary without perturbing each other.
+
+    Effective weights are shared with (snapshot by the same helpers as)
+    the full-sequence plan and keyed on the same ``cache_token``/version
+    counters: a weight change or mask re-install recompiles both planes,
+    bumps ``epoch`` and thereby invalidates every outstanding
+    :class:`DecodeState`.  Falls back to the full plan (still zero
+    autograd) whenever the incremental path cannot be exact: multi-layer
+    decoders, sparse executors, contexts shorter than two tokens, a
+    caller-signalled sliding window (``full=True`` — positions shift, so
+    cached rows are stale by construction), or contexts beyond
+    ``kv_len_cap``.  That cap exists because the M==1 quirk is not the
+    only kernel boundary: for GEMMs whose weight operand is a transposed
+    *view* (the plan's — and the eager path's — idiom), OpenBLAS flips to
+    a different blocking once ``M`` crosses a shape-dependent threshold,
+    after which M=2 rows no longer bitwise match M=L rows.  The
+    thresholds are shape-determined but not portably predictable, so
+    compile probes every decode-path GEMM shape at every length up to
+    ``max_len`` with random operands and caps the incremental path at
+    the longest prefix where all of them are tail-row invariant.
+    """
+
+    def __init__(self, model: Module, dtype: str = "float64",
+                 plan: Optional[CompiledForward] = None) -> None:
+        if not isinstance(model, TransformerLM):
+            raise UnsupportedModel(
+                f"compile_decode supports TransformerLM models, "
+                f"not {type(model).__name__}")
+        self.model = model
+        self.plan = plan if plan is not None else CompiledForward(
+            model, dtype=dtype)
+        self.dtype = self.plan.dtype
+        self.epoch = 0
+        self.decode_compiles = 0
+        # single decoder layer: its self-attention K/V rows are the only
+        # position-stable intermediates; deeper decoders would need the
+        # (changing) cross-attention outputs of earlier layers
+        self.kv_capable = (len(model.decoder) == 1
+                           and self.plan.sparse is None)
+        self._dec: Optional[dict] = None
+        # longest context the incremental path may serve bitwise; probed
+        # once per model shape (0 until the first decode compile)
+        self.kv_len_cap = 0
+        if self.kv_capable:
+            self._compile_decode()
+        self._decode_signature = self.plan.signature()
+
+    # ------------------------------------------------------------------
+    def new_state(self) -> DecodeState:
+        """A fresh per-stream K/V cache bound to the current epoch."""
+        return DecodeState(self)
+
+    def _ensure_fresh(self) -> None:
+        sig = self.plan.signature()
+        if sig != self._decode_signature:
+            # a parameter or installed mask changed: refresh both planes
+            # and retire every outstanding DecodeState via the epoch
+            if sig != self.plan._signature:
+                self.plan._compile()
+            if self.kv_capable:
+                self._compile_decode()
+            self._decode_signature = sig
+            self.epoch += 1
+
+    def _compile_decode(self) -> None:
+        plan, model = self.plan, self.model
+        plan._check_eval(model)
+        dec = model.decoder[0]
+        sa, ca = dec.self_attn, dec.cross_attn
+        self._dec = {
+            "embed_w": plan._cast(model.embed.weight.data),
+            "pos": plan._cast(model.pos),
+            "encoders": [plan._compile_encoder_layer(layer)
+                         for layer in model.encoder],
+            "norm1": plan._compile_norm(dec.norm1),
+            "norm2": plan._compile_norm(dec.norm2),
+            "norm3": plan._compile_norm(dec.norm3),
+            "q": plan._proj(sa.q_proj),
+            "k": plan._proj(sa.k_proj),
+            "v": plan._proj(sa.v_proj),
+            "self_out": plan._compile_linear(sa.out_proj),
+            "cq": plan._proj(ca.q_proj),
+            "ck": plan._proj(ca.k_proj),
+            "cv": plan._proj(ca.v_proj),
+            "cross_out": plan._compile_linear(ca.out_proj),
+            "ffn": plan._compile_ffn_relu(dec.ffn),
+            "final_norm": plan._compile_norm(model.final_norm),
+            "lm_head": plan._compile_linear(model.lm_head),
+            "heads": sa.num_heads,
+            "head_dim": sa.head_dim,
+            "scale": 1.0 / math.sqrt(sa.head_dim),
+        }
+        self.decode_compiles += 1
+        if not self.kv_len_cap:
+            # kernel regimes depend only on shapes/layout, never on the
+            # weight or mask values, so one probe per model shape holds
+            # across recompiles
+            self.kv_len_cap = self._probe_kv_len_cap()
+
+    def _probe_kv_len_cap(self) -> int:
+        """Longest context length at which the M==2 tail path is bitwise
+        equal to the full plan, probed empirically per GEMM shape.
+
+        BLAS picks a different blocking for transposed-*view* weight
+        operands once ``M`` crosses a shape-dependent threshold (e.g. on
+        OpenBLAS ``(K=64, N=128)`` flips at ``M == 10`` while
+        ``(K=32, N=64)`` holds until ``M == 19``); past it the last rows
+        of an ``M == L`` GEMM stop matching the same rows computed at
+        ``M == 2``.  Kernel choice depends only on shape and layout, so
+        random operands in the plan's exact layouts (transposed views
+        for weights, contiguous tails for activations, strided head
+        views for attention) decide each length definitively.
+        """
+        d = self._dec
+        cfg = self.model.cfg
+        heads, hd = d["heads"], d["head_dim"]
+        dim = heads * hd
+        dt = self.dtype
+        rng = np.random.default_rng(0)
+
+        def view_w(k, n):
+            return np.ascontiguousarray(
+                rng.standard_normal((n, k)).astype(dt)).T
+
+        # every (in, out) shape the tail path pushes through a
+        # transposed-view weight; contiguous-weight GEMMs are row
+        # invariant and need no probe
+        shapes = sorted({(dim, dim), (dim, cfg.ffn_dim),
+                         (cfg.ffn_dim, dim), (dim, cfg.vocab_size)})
+        weights = [view_w(k, n) for k, n in shapes]
+        kv_shape = (dim, dim)  # K/V projections also fill the cache
+
+        for length in range(2, cfg.max_len + 1):
+            ok = True
+            for w_t in weights:
+                x = rng.standard_normal(
+                    (1, length, w_t.shape[0])).astype(dt)
+                full = np.matmul(x, w_t)
+                tail = np.matmul(
+                    np.ascontiguousarray(x[:, length - 2:]), w_t)
+                if not np.array_equal(full[0, length - 1], tail[0, 1]):
+                    ok = False
+                    break
+                if w_t.shape == kv_shape:
+                    # cache rows written at earlier lengths must match a
+                    # full-length rebuild row for row: slide an M==2
+                    # window over every position
+                    win = np.ascontiguousarray(np.stack(
+                        [x[0, j - 1: j + 1] for j in range(1, length)]))
+                    rows = np.matmul(win, w_t)
+                    if not (np.array_equal(full[0, 1:], rows[:, 1])
+                            and np.array_equal(full[0, :-1], rows[:, 0])):
+                        ok = False
+                        break
+            if ok:
+                # 4-D attention in the plan's layouts: scores q @ k^T
+                # with a strided 2-row query view, context probs @ v
+                # with a contiguous 2-row probs tail
+                q = rng.standard_normal((1, length, dim)).astype(dt)
+                k = rng.standard_normal((1, length, dim)).astype(dt)
+                qh = q.reshape(1, length, heads, hd).transpose(0, 2, 1, 3)
+                kh = k.reshape(1, length, heads, hd).transpose(0, 2, 1, 3)
+                kht = kh.transpose(0, 1, 3, 2)
+                q2 = np.ascontiguousarray(q[:, length - 2:])
+                q2h = q2.reshape(1, 2, heads, hd).transpose(0, 2, 1, 3)
+                if not np.array_equal(np.matmul(qh, kht)[:, :, length - 1],
+                                      np.matmul(q2h, kht)[:, :, 1]):
+                    ok = False
+                else:
+                    probs = rng.random((1, heads, length, length)).astype(dt)
+                    v = rng.standard_normal((1, length, dim)).astype(dt)
+                    vh = v.reshape(1, length, heads,
+                                   hd).transpose(0, 2, 1, 3)
+                    tail_p = np.ascontiguousarray(probs[:, :, length - 2:])
+                    if not np.array_equal(
+                            np.matmul(probs, vh)[:, :, length - 1],
+                            np.matmul(tail_p, vh)[:, :, 1]):
+                        ok = False
+            if not ok:
+                return length - 1
+        return cfg.max_len
+
+    # ------------------------------------------------------------------
+    def decode_step(self, contexts: np.ndarray, states: List[DecodeState],
+                    full: bool = False) -> np.ndarray:
+        """Next-token logits ``(G, vocab)`` for G equal-length contexts.
+
+        ``contexts`` is ``(G, L)`` token ids (every stream at the same
+        context length — group ragged streams by length, they batch
+        exactly); ``states`` the G per-stream caches.  ``full=True``
+        forces the full-sequence plan (callers set it once their context
+        window starts sliding).
+        """
+        contexts = np.asarray(
+            contexts.data if hasattr(contexts, "data") else contexts)
+        if contexts.ndim != 2:
+            raise ValueError("decode_step expects (batch, length) contexts")
+        if contexts.shape[0] != len(states):
+            raise ValueError("one DecodeState per context row is required")
+        self._ensure_fresh()
+        for st in states:
+            if st.epoch != self.epoch:
+                st.rows = 0
+                st.epoch = self.epoch
+        length = contexts.shape[1]
+        if (full or not self.kv_capable or length < 2
+                or length > self.kv_len_cap):
+            # exactness fallbacks; cached rows no longer describe the
+            # next step's positions, so retire them (length-1 prefixes
+            # are M==1-tainted and deliberately never seed the cache,
+            # and beyond kv_len_cap the BLAS tail GEMMs change kernel
+            # regime)
+            logits = self.plan(contexts)
+            for st in states:
+                st.rows = 0
+            return np.ascontiguousarray(logits[:, -1])
+        return self._step_kv(contexts, states)
+
+    def _step_kv(self, contexts: np.ndarray,
+                 states: List[DecodeState]) -> np.ndarray:
+        d = self._dec
+        pool = self.plan.pool
+        batch, length = contexts.shape
+        max_len = self.model.cfg.max_len
+        if length > max_len:
+            raise ValueError(
+                f"sequence length {length} exceeds max_len {max_len}")
+        dim = self.model.cfg.dim
+        heads, head_dim, scale = d["heads"], d["head_dim"], d["scale"]
+        emb = d["embed_w"][contexts]
+        emb = np.add(emb, d["pos"][:length], out=emb)
+        x = emb
+        for enc in d["encoders"]:
+            x = enc(x, None)
+        memory = x
+        # ---- decoder self-attention over the cached K/V rows ----------
+        tail = emb[:, length - 2:]
+        h2 = d["norm1"](tail)
+        (q_t, q_b), (k_t, k_b), (v_t, v_b) = d["q"], d["k"], d["v"]
+        q2 = np.matmul(h2, q_t, out=pool.take((batch, 2, dim)))
+        if q_b is not None:
+            q2 += q_b
+        k2 = np.matmul(h2, k_t, out=pool.take((batch, 2, dim)))
+        if k_b is not None:
+            k2 += k_b
+        v2 = np.matmul(h2, v_t, out=pool.take((batch, 2, dim)))
+        if v_b is not None:
+            v2 += v_b
+        pool.give(h2)
+        rebuild = [g for g, st in enumerate(states) if st.rows != length - 1]
+        if rebuild:
+            # cold or invalidated caches: recompute every row in one
+            # M=length GEMM — row-bitwise equal to the incremental fills
+            hf = d["norm1"](emb[rebuild])
+            kf = np.matmul(hf, k_t)
+            if k_b is not None:
+                kf += k_b
+            vf = np.matmul(hf, v_t)
+            if v_b is not None:
+                vf += v_b
+            pool.give(hf)
+            for j, g in enumerate(rebuild):
+                st = states[g]
+                np.copyto(st.k[:length], kf[j])
+                np.copyto(st.v[:length], vf[j])
+                st.rows = length
+        for g, st in enumerate(states):
+            if st.rows == length - 1:
+                np.copyto(st.k[length - 1], k2[g, 1])
+                np.copyto(st.v[length - 1], v2[g, 1])
+                st.rows = length
+        pool.give(k2)
+        pool.give(v2)
+        kbuf = pool.take((batch, length, dim))
+        vbuf = pool.take((batch, length, dim))
+        for g, st in enumerate(states):
+            np.copyto(kbuf[g], st.k[:length])
+            np.copyto(vbuf[g], st.v[:length])
+        qh = q2.reshape(batch, 2, heads, head_dim).transpose(0, 2, 1, 3)
+        kh = kbuf.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+        vh = vbuf.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+        scores = np.matmul(qh, kh.transpose(0, 1, 3, 2),
+                           out=pool.take((batch, heads, 2, length)))
+        scores *= scale
+        # last-2-rows slice of the causal mask, memoized per position in
+        # the plan's shared (capped) mask cache
+        tail_mask = self.plan._cache_mask(
+            ("decode_tail", length),
+            lambda: np.ascontiguousarray(causal_mask(length)[length - 2:]))
+        np.copyto(scores, NEG_INF, where=tail_mask)
+        shift = np.maximum.reduce(scores, axis=-1, keepdims=True)
+        np.subtract(scores, shift, out=scores)
+        np.exp(scores, out=scores)
+        scores /= np.add.reduce(scores, axis=-1, keepdims=True)
+        context = np.matmul(
+            scores, vh, out=pool.take((batch, heads, 2, head_dim)))
+        merged = pool.take((batch, 2, dim))
+        np.copyto(merged.reshape(batch, 2, heads, head_dim),
+                  context.transpose(0, 2, 1, 3))
+        a2 = d["self_out"](merged)
+        pool.give(q2)
+        pool.give(kbuf)
+        pool.give(vbuf)
+        pool.give(scores)
+        pool.give(context)
+        pool.give(merged)
+        x2 = np.add(tail, a2, out=a2)
+        # ---- cross-attention against the freshly encoded memory -------
+        hc = d["norm2"](x2)
+        (cq_t, cq_b), (ck_t, ck_b), (cv_t, cv_b) = d["cq"], d["ck"], d["cv"]
+        qc = np.matmul(hc, cq_t, out=pool.take((batch, 2, dim)))
+        if cq_b is not None:
+            qc += cq_b
+        kc = np.matmul(memory, ck_t, out=pool.take((batch, length, dim)))
+        if ck_b is not None:
+            kc += ck_b
+        vc = np.matmul(memory, cv_t, out=pool.take((batch, length, dim)))
+        if cv_b is not None:
+            vc += cv_b
+        pool.give(hc)
+        qch = qc.reshape(batch, 2, heads, head_dim).transpose(0, 2, 1, 3)
+        kch = kc.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+        vch = vc.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+        cscores = np.matmul(qch, kch.transpose(0, 1, 3, 2),
+                            out=pool.take((batch, heads, 2, length)))
+        cscores *= scale
+        cshift = np.maximum.reduce(cscores, axis=-1, keepdims=True)
+        np.subtract(cscores, cshift, out=cscores)
+        np.exp(cscores, out=cscores)
+        cscores /= np.add.reduce(cscores, axis=-1, keepdims=True)
+        ccontext = np.matmul(
+            cscores, vch, out=pool.take((batch, heads, 2, head_dim)))
+        cmerged = pool.take((batch, 2, dim))
+        np.copyto(cmerged.reshape(batch, 2, heads, head_dim),
+                  ccontext.transpose(0, 2, 1, 3))
+        c2 = d["cross_out"](cmerged)
+        pool.give(qc)
+        pool.give(kc)
+        pool.give(vc)
+        pool.give(cscores)
+        pool.give(ccontext)
+        pool.give(cmerged)
+        x3 = np.add(x2, c2, out=c2)
+        f2 = d["ffn"](d["norm3"](x3))
+        y2 = np.add(x3, f2, out=f2)
+        out2 = d["lm_head"](d["final_norm"](y2))
+        return np.ascontiguousarray(out2[:, 1])
+
+    # decode_step is the one entry point; keep the plan's call idiom too
+    __call__ = decode_step
+
+
+def compile_decode(model: Module, dtype: str = "float64",
+                   plan: Optional[CompiledForward] = None) -> CompiledDecode:
+    """Compile a KV-cached single-token decode plane for ``model``.
+
+    ``plan`` optionally shares an existing :class:`CompiledForward` (and
+    its scratch pool / mask cache); otherwise one is built.  ``float64``
+    decode is bit-identical to the eager per-token forward; ``float32``
+    inherits the plan's documented reduced-precision tolerance.  Raises
+    :class:`UnsupportedModel` for non-``TransformerLM`` architectures.
+    """
+    return CompiledDecode(model, dtype=dtype, plan=plan)
 
 
 def compile_inference(model: Module, dtype: str = "float64",

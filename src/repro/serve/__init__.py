@@ -36,6 +36,14 @@ Layout
   top of the online core (with the default ``fifo`` drain the simulated
   metrics are exactly the pre-streaming engine's; affinity-style drains
   decide online, from the batches admitted by each decision instant);
+- :mod:`~repro.serve.decode`    — the continuous-batching decode plane:
+  :class:`DecodeOptions` (the grouped decode/fast-forward sub-config
+  ``StackConfig`` embeds) and the per-device :class:`DecodeLane` — a
+  rolling batch that streams join (arrival) and leave (eos / token
+  budget) at *token boundaries*, grouped by operating-point
+  compatibility key and advanced through a shared KV-cached
+  :class:`~repro.nn.generation.DecodeSession` (bit-identical to solo
+  eager generation; ``submit_decode`` / ``serve_decode`` feed it);
 - :mod:`~repro.serve.sharding`  — :class:`DeviceShard` (per-V/F-level
   FIFO queues, per-device clock and installed-pattern state, and the
   event-driven ``next_event_s``/``pop_next`` interface the loop drives;
@@ -95,6 +103,7 @@ from repro.serve.batcher import (
     run_padded,
 )
 from repro.serve.cache import ArtifactCache, CacheStats, LRUCache, artifact_nbytes
+from repro.serve.decode import DecodeJob, DecodeLane, DecodeOptions
 from repro.serve.engine import ServeEngine
 from repro.serve.streaming import ServeReport, StreamingEngine
 from repro.serve.sharding import (
@@ -122,6 +131,9 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "DRAIN_POLICIES",
+    "DecodeJob",
+    "DecodeLane",
+    "DecodeOptions",
     "DeviceShard",
     "Dispatcher",
     "FlushedGroup",

@@ -56,8 +56,10 @@ from typing import Dict, Hashable, Optional, Sequence
 
 from repro.core.runtime_policy import RuntimeAdapter
 from repro.hardware.dvfs import DVFSTable, VFLevel
+from repro.nn.generation import GenerationConfig
 from repro.serve.batcher import InferenceRequest, MicroBatcher
 from repro.serve.cache import ArtifactCache
+from repro.serve.decode import DecodeOptions
 from repro.serve.sharding import DRAIN_POLICIES, POLICIES
 from repro.serve.streaming import ServeReport, StreamingEngine
 
@@ -99,7 +101,8 @@ class ServeEngine:
                  adaptive_window: int = 8,
                  adaptive_threshold: float = 0.5,
                  adaptive_low_threshold: Optional[float] = None,
-                 fast_forward: bool = True) -> None:
+                 fast_forward: bool = True,
+                 decode: Optional[DecodeOptions] = None) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if drain_policy not in DRAIN_POLICIES:
@@ -140,8 +143,14 @@ class ServeEngine:
         self.adaptive_low_threshold = adaptive_low_threshold
         # serve-path forwards run the compiled zero-autograd ndarray plan
         # by default (bit-identical outputs); False restores the eager
-        # Tensor path (`rt3 serve --no-fast-forward`)
-        self.fast_forward = fast_forward
+        # Tensor path (`rt3 serve --no-fast-forward`).  The grouped
+        # ``decode`` sub-config is the consolidated home of that knob
+        # plus the decode-lane sampling defaults; when supplied it is
+        # authoritative, and the flat ``fast_forward`` kwarg survives
+        # only for callers predating it.
+        self.decode_options = (decode if decode is not None
+                               else DecodeOptions(fast_forward=fast_forward))
+        self.fast_forward = self.decode_options.fast_forward
         self.time_sliced = time_sliced
         # ``prewarm=True`` models deploy-time provisioning: each device
         # starts with the pattern set of its first routed batch already
@@ -188,7 +197,7 @@ class ServeEngine:
             adaptive_window=self.adaptive_window,
             adaptive_threshold=self.adaptive_threshold,
             adaptive_low_threshold=self.adaptive_low_threshold,
-            fast_forward=self.fast_forward,
+            decode=self.decode_options,
             initial_device_state=dict(self._device_state))
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:
@@ -203,6 +212,25 @@ class ServeEngine:
         report = core.report()
         # the measured hot path covers admission + routing + per-batch
         # work; verification is excluded (it doubles the compute)
+        report.wall_seconds = (time.perf_counter() - start_wall
+                               - core.verify_wall_s)
+        self._device_state = core.device_state()
+        return report
+
+    def serve_decode(self, requests: Sequence[InferenceRequest],
+                     config: Optional[GenerationConfig] = None) -> ServeReport:
+        """Serve a trace of *decode streams* offline: each request's
+        ``tokens`` is a prompt, continued for ``config`` (or the engine's
+        :class:`DecodeOptions` defaults) on the continuously-batched
+        decode lanes.  Results carry a
+        :class:`~repro.nn.generation.GenerationResult` as ``output``.
+        """
+        core = self.streaming()
+        start_wall = time.perf_counter()
+        for req in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
+            core.submit_decode(req, config=config)
+        core.drain()
+        report = core.report()
         report.wall_seconds = (time.perf_counter() - start_wall
                                - core.verify_wall_s)
         self._device_state = core.device_state()

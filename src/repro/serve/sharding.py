@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.serve.batcher import InferenceRequest
+from repro.serve.decode import DecodeLane
 
 POLICIES = ("round-robin", "least-loaded", "switch-aware")
 DRAIN_POLICIES = ("fifo", "level-affinity", "adaptive")
@@ -91,6 +92,10 @@ class ShardStats:
     # and back as traffic phases change) and what it ended on
     policy_flips: int = 0
     drain_policy: str = "fifo"
+    # continuous-batching decode lane traffic (token boundaries executed
+    # on this device and streams completed here)
+    decode_streams: int = 0
+    decode_tokens: int = 0
 
     @property
     def service_throughput_rps(self) -> float:
@@ -110,6 +115,8 @@ class ShardStats:
             "switches": self.switches,
             "policy_flips": self.policy_flips,
             "drain_policy": self.drain_policy,
+            "decode_streams": self.decode_streams,
+            "decode_tokens": self.decode_tokens,
             "service_throughput_rps": self.service_throughput_rps,
             "utilization": self.utilization(makespan_s),
         }
@@ -188,6 +195,9 @@ class DeviceShard:
         self.assigned_est_s = 0.0
         self.active_sparsity: Optional[float] = None
         self.expected_sparsity: Optional[float] = None
+        # rolling decode batch resident on this device (continuous
+        # batching: streams join/leave at token boundaries)
+        self.decode = DecodeLane()
         self.stats = ShardStats(shard_id, drain_policy=self._base_policy())
         # persistent drain-policy state (level-affinity run tracking)
         self._current_level: Optional[str] = None
@@ -229,7 +239,7 @@ class DeviceShard:
         return min(heads)[1] if heads else None
 
     # -- event-driven interface (driven by the streaming loop) ---------
-    def next_event_s(self) -> Optional[float]:
+    def queue_event_s(self) -> Optional[float]:
         """Earliest simulated time this shard can start its next batch.
 
         ``None`` when nothing is queued; otherwise the device is free at
@@ -242,6 +252,15 @@ class DeviceShard:
             return None
         earliest = min(q[0].ready_s for q in self.queues.values() if q)
         return max(self.clock_s, earliest)
+
+    def next_event_s(self) -> Optional[float]:
+        """Earliest time this shard can act: batch dispatch or a decode
+        token boundary, whichever comes first (the engine breaks the tie
+        in favour of the latency-critical decode lane)."""
+        times = [t for t in (self.queue_event_s(),
+                             self.decode.due_s(self.clock_s))
+                 if t is not None]
+        return min(times) if times else None
 
     def pop_next(self) -> Optional[QueuedBatch]:
         """Pop the next batch per the drain policy (None when empty)."""
@@ -279,6 +298,21 @@ class DeviceShard:
             yield batch
 
     # -- execution accounting (called by the engine) -------------------
+    def record_decode(self, service_s: float, completion_s: float,
+                      tokens: int, finished: int, switches: int) -> None:
+        """Account one decode token boundary (all lane groups advanced).
+
+        Decode boundaries move the device clock and busy time like a
+        batch does, but stay out of the drain-policy switch history —
+        the adaptive drain reasons about queued batch traffic only.
+        """
+        self.clock_s = completion_s
+        self.stats.busy_s += service_s
+        self.stats.last_completion_s = completion_s
+        self.stats.decode_tokens += tokens
+        self.stats.decode_streams += finished
+        self.stats.switches += switches
+
     def record(self, batch: QueuedBatch, service_s: float, completion_s: float,
                switched: bool) -> None:
         self.clock_s = completion_s
@@ -355,8 +389,15 @@ class Dispatcher:
             cost += self.switch_cost_s.get(batch.sparsity, 0.0)
         return cost
 
-    def route(self, batch: QueuedBatch, shards: Sequence[DeviceShard]) -> DeviceShard:
-        """Pick a shard for ``batch`` and enqueue it there."""
+    def place(self, batch: QueuedBatch,
+              shards: Sequence[DeviceShard]) -> DeviceShard:
+        """Pick a shard for ``batch`` without enqueueing it.
+
+        Decode placements go through here — the job joins the shard's
+        decode lane rather than a batch queue, but it consumes a routing
+        slot (round-robin position, load/switch scoring) exactly like a
+        batch placement does.
+        """
         if not shards:
             raise ValueError("cannot route without shards")
         if self.policy == "round-robin":
@@ -367,6 +408,11 @@ class Dispatcher:
             shard = min(shards,
                         key=lambda s: (self._placement_cost(batch, s),
                                        s.shard_id))
-        shard.enqueue(batch)
         self.routed += 1
+        return shard
+
+    def route(self, batch: QueuedBatch, shards: Sequence[DeviceShard]) -> DeviceShard:
+        """Pick a shard for ``batch`` and enqueue it there."""
+        shard = self.place(batch, shards)
+        shard.enqueue(batch)
         return shard

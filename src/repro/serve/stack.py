@@ -8,7 +8,7 @@ drift from the bench that is supposed to mirror it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -18,6 +18,7 @@ from repro.core.runtime_policy import RuntimeAdapter
 from repro.hardware.workload import WorkloadProfile, profile_from_model
 from repro.nn.transformer import TransformerConfig, TransformerLM
 from repro.serve.cache import ArtifactCache
+from repro.serve.decode import DecodeOptions
 from repro.serve.engine import ServeEngine
 from repro.serve.streaming import StreamingEngine
 
@@ -54,15 +55,24 @@ class StackConfig:
     adaptive_window: int = 8
     adaptive_threshold: float = 0.5
     adaptive_low_threshold: Optional[float] = None
-    # serve-path forwards run the compiled zero-autograd ndarray plan
-    # (bit-identical to the eager Tensor forward); False restores the
-    # eager path (`rt3 serve --no-fast-forward`)
-    fast_forward: bool = True
+    # decode/fast-forward knobs travel as one grouped sub-config (the
+    # decode-lane sampling defaults plus the compiled-plane switch); the
+    # CLI's --decode-* and --no-fast-forward flags thread into it
+    decode: DecodeOptions = field(default_factory=DecodeOptions)
+    # deprecated flat alias for decode.fast_forward, kept so existing
+    # StackConfig(fast_forward=...) callers keep working; when set it
+    # overrides the grouped value at construction and reads stay in sync
+    fast_forward: Optional[bool] = None
     # streaming=True builds the online StreamingEngine (submit/tick/drain)
     # instead of the offline trace wrapper; max_wait_s overrides window_s
     # as its admission window when set
     streaming: bool = False
     max_wait_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.fast_forward is not None:
+            self.decode.fast_forward = self.fast_forward
+        self.fast_forward = self.decode.fast_forward
 
 
 def build_serving_stack(cfg: Optional[StackConfig] = None
@@ -97,7 +107,7 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                          adaptive_window=cfg.adaptive_window,
                          adaptive_threshold=cfg.adaptive_threshold,
                          adaptive_low_threshold=cfg.adaptive_low_threshold,
-                         fast_forward=cfg.fast_forward)
+                         decode=cfg.decode)
     if cfg.streaming:
         return model, workload, engine.streaming(max_wait_s=cfg.max_wait_s)
     return model, workload, engine

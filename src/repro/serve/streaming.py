@@ -53,7 +53,8 @@ import numpy as np
 
 from repro.core.runtime_policy import AdaptationEvent, RuntimeAdapter
 from repro.hardware.dvfs import DVFSTable, VFLevel
-from repro.nn.inference import UnsupportedModel, compile_inference
+from repro.nn.generation import DecodeSession, GenerationConfig
+from repro.nn.inference import UnsupportedModel, compile_decode, compile_inference
 from repro.hardware.latency import SparsityKind
 from repro.serve.batcher import (
     AdmissionQueue,
@@ -63,6 +64,7 @@ from repro.serve.batcher import (
     run_padded,
 )
 from repro.serve.cache import ArtifactCache, CacheStats
+from repro.serve.decode import DecodeJob, DecodeOptions
 from repro.serve.sharding import (
     DRAIN_POLICIES,
     POLICIES,
@@ -163,6 +165,16 @@ class ServeReport:
         return sum(1 for e in self.events if e.switched)
 
     @property
+    def decode_tokens(self) -> int:
+        """Decode-lane tokens emitted across all devices."""
+        return sum(s.decode_tokens for s in self.shard_stats)
+
+    @property
+    def decode_streams(self) -> int:
+        """Decode streams completed across all devices."""
+        return sum(s.decode_streams for s in self.shard_stats)
+
+    @property
     def violations(self) -> int:
         """Batches whose compute deadline no pattern set could meet."""
         return sum(1 for e in self.events if e.chosen_sparsity is None)
@@ -185,6 +197,9 @@ class ServeReport:
             "policy": self.policy,
             "time_sliced": self.time_sliced,
         }
+        if self.decode_tokens:
+            out["decode_streams"] = self.decode_streams
+            out["decode_tokens"] = self.decode_tokens
         if self.shard_stats:
             makespan = self.sim_makespan_s
             out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
@@ -232,7 +247,8 @@ class StreamingEngine:
                  adaptive_low_threshold: Optional[float] = None,
                  initial_device_state: Optional[Dict[int, Optional[float]]] = None,
                  retain_results: bool = True,
-                 fast_forward: bool = True) -> None:
+                 fast_forward: bool = True,
+                 decode: Optional[DecodeOptions] = None) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if policy not in POLICIES:
@@ -255,9 +271,15 @@ class StreamingEngine:
         # serve-path forwards default to the compiled zero-autograd plan
         # (bit-identical to the eager path); the plan is built lazily on
         # the first executed batch and recompiles itself only when a
-        # weight or installed mask actually changes (O(1) token check)
-        self.fast_forward = fast_forward
+        # weight or installed mask actually changes (O(1) token check).
+        # The grouped DecodeOptions is authoritative when supplied; the
+        # flat fast_forward kwarg survives for callers predating it.
+        self.decode_options = (decode if decode is not None
+                               else DecodeOptions(fast_forward=fast_forward))
+        self.fast_forward = self.decode_options.fast_forward
         self._plan = None
+        self._decoder = None
+        self._decoder_tried = False
         self.time_sliced = time_sliced
         self.prewarm = prewarm
         self.policy = policy
@@ -333,6 +355,26 @@ class StreamingEngine:
                 return None
         return self._plan
 
+    def _decode_plan(self):
+        """The shared KV-cached decode plane (None = eager sessions)."""
+        if not self.fast_forward:
+            return None
+        if self._decoder is None and not self._decoder_tried:
+            self._decoder_tried = True
+            try:
+                self._decoder = compile_decode(self.model,
+                                               plan=self._forward())
+            except (UnsupportedModel, ValueError):
+                self._decoder = None
+        return self._decoder
+
+    def _decode_session(self) -> DecodeSession:
+        """A fresh lane session sharing the engine-wide decode plane."""
+        decoder = self._decode_plan()
+        if decoder is not None:
+            return DecodeSession(self.model, decoder=decoder)
+        return DecodeSession(self.model, compiled=False)
+
     def _compat_key(self, request: InferenceRequest) -> Hashable:
         """Requests batch together iff they resolve to one operating point."""
         level = self._level(request.level_name)
@@ -377,6 +419,32 @@ class StreamingEngine:
                 f"but the loop already advanced to {self.now_s:.6f}s")
         heapq.heappush(self._heap, (request.arrival_s, _ARRIVAL,
                                     next(self._tiebreak), request))
+        self._wall += time.perf_counter() - start
+
+    def submit_decode(self, request: InferenceRequest,
+                      config: Optional[GenerationConfig] = None,
+                      arrival_s: Optional[float] = None) -> None:
+        """File one decode stream: ``request.tokens`` is the prompt.
+
+        The stream is routed at arrival and joins its device's rolling
+        decode batch at the next token boundary; it leaves on eos or
+        after ``max_new_tokens`` (from ``config`` or the engine's
+        :class:`DecodeOptions` defaults).  Its completion surfaces
+        through :meth:`tick`/:meth:`drain` like any request, with
+        ``output`` a :class:`~repro.nn.generation.GenerationResult`.
+        """
+        start = time.perf_counter()
+        if arrival_s is not None:
+            request.arrival_s = arrival_s
+        if request.arrival_s < self.now_s:
+            raise ValueError(
+                f"request {request.req_id} arrives at {request.arrival_s:.6f}s "
+                f"but the loop already advanced to {self.now_s:.6f}s")
+        cfg = (config if config is not None
+               else self.decode_options.generation_config()).validate()
+        job = DecodeJob(request=request, config=cfg)
+        heapq.heappush(self._heap, (request.arrival_s, _ARRIVAL,
+                                    next(self._tiebreak), job))
         self._wall += time.perf_counter() - start
 
     def tick(self, until_s: float) -> List[RequestResult]:
@@ -478,6 +546,9 @@ class StreamingEngine:
                 self._on_shard_ready(payload, when)
 
     def _on_arrival(self, request: InferenceRequest, now: float) -> None:
+        if isinstance(request, DecodeJob):
+            self._place_decode(request, now)
+            return
         full, window = self.admission.add(request, now)
         if window is not None:
             deadline, key, generation = window
@@ -486,6 +557,28 @@ class StreamingEngine:
                                         (key, generation)))
         if full is not None:
             self._admit(full)
+
+    def _place_decode(self, job: DecodeJob, now: float) -> None:
+        """Route an arrived decode stream to a device's lane."""
+        req = job.request
+        level = self._level(req.level_name)
+        job.compat_key = self._compat_key(req)
+        sparsity = job.compat_key[1]
+        per_token = self.adapter.latency.batch_latency_s(
+            self.adapter.workload, level, 1,
+            sparsity if sparsity is not None else self.fallback_sparsity,
+            SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+        job.est_service_s = per_token * job.config.max_new_tokens
+        probe = QueuedBatch(-1, [req], req.level_name, now,
+                            job.est_service_s, sparsity=sparsity)
+        shard = self.dispatcher.place(probe, self.shards)
+        # the lane consumes load like an enqueued batch would, minus the
+        # queue itself: the stream holds its device one token at a time
+        shard.assigned_est_s += job.est_service_s
+        if sparsity is not None:
+            shard.expected_sparsity = sparsity
+        shard.decode.add_pending(job)
+        self._schedule_shard(shard)
 
     def _admit(self, group: FlushedGroup) -> None:
         """A closed micro-batch enters the system: resolve, route, queue."""
@@ -531,8 +624,16 @@ class StreamingEngine:
                 # this event was stale); re-arm and yield the loop
                 self._schedule_shard(shard)
                 return
-            batch = shard.pop_next()
-            self._execute(shard, batch)
+            decode_due = shard.decode.due_s(shard.clock_s)
+            queue_due = shard.queue_event_s()
+            if decode_due is not None and (queue_due is None
+                                           or decode_due <= queue_due):
+                # token boundaries win ties: the decode lane is the
+                # latency-critical traffic and each boundary is short
+                self._decode_tick(shard, when)
+            else:
+                batch = shard.pop_next()
+                self._execute(shard, batch)
 
     # ------------------------------------------------------------------
     # execution (one batch on one device)
@@ -623,6 +724,85 @@ class StreamingEngine:
             heapq.heappush(self._pending_done,
                            (result.completion_s, next(self._tiebreak), result))
         self._events.append((qb.seq, event))
+
+    # ------------------------------------------------------------------
+    # decode lane (one token boundary on one device)
+    # ------------------------------------------------------------------
+    def _decode_tick(self, shard: DeviceShard, now: float) -> None:
+        """Advance every decode stream on ``shard`` by one token.
+
+        Pending streams whose arrival has passed join first (continuous
+        batching: membership changes only at boundaries), then each
+        operating-point group runs one stacked decode step — grouped by
+        context length inside the session, so nothing is padded and
+        every stream's bits match a solo run.  Switch costs are resolved
+        per group against this device's installed state, exactly like a
+        batch execution, and each group's step is an
+        :class:`AdaptationEvent` in the report.
+        """
+        lane = shard.decode
+        begin = max(shard.clock_s, now)
+        lane.admit(begin, self._decode_session)
+        clock = begin
+        tokens = 0
+        finished = 0
+        switches = 0
+        for key in lane.group_keys():
+            group = lane.groups[key]
+            session = group.session
+            active = [group.streams[sid] for sid in sorted(group.streams)
+                      if not session.finished(sid)]
+            if not active:
+                continue
+            seq = self._seq
+            self._seq += 1
+            level = self._level(key[0])
+            reqs = [s.job.request for s in active]
+            qb = QueuedBatch(seq, reqs, key[0], begin, 0.0, sparsity=key[1])
+            event, effective, switch_s, installed = \
+                self._resolve_operating_point(shard, level, qb)
+            pset = self.ladder[effective]
+            manager = self.adapter.manager
+            if manager is not None and (self.reinstall_per_batch
+                                        or manager.active_set is not pset):
+                # an identical re-install keeps every cache_token stable,
+                # so the decode plane's KV state survives; a real switch
+                # bumps the tokens and invalidates it — the correctness
+                # the recompile-on-mask-install tests pin
+                manager.apply(pset)
+            self.adapter.active_sparsity = effective
+            emitted = session.step()
+            per_token = self.adapter.latency.batch_latency_s(
+                self.adapter.workload, level, len(active), effective,
+                SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+            service = switch_s + per_token
+            clock += service
+            tokens += len(emitted)
+            if installed:
+                switches += 1
+            self._events.append((seq, event))
+            for stream in active:
+                if not session.finished(stream.sid):
+                    continue
+                finished += 1
+                del group.streams[stream.sid]
+                result = RequestResult(
+                    request=stream.job.request,
+                    output=session.result(stream.sid), batch_id=seq,
+                    batch_size=len(active),
+                    queue_wait_s=stream.join_s - stream.job.request.arrival_s,
+                    service_s=clock - stream.join_s,
+                    completion_s=clock,
+                    sparsity=effective, shard_id=shard.shard_id)
+                if self.retain_results:
+                    self._results.append(result)
+                heapq.heappush(
+                    self._pending_done,
+                    (result.completion_s, next(self._tiebreak), result))
+        lane.prune()
+        if clock > begin or tokens:
+            shard.record_decode(clock - begin, clock, tokens, finished,
+                                switches)
 
     def _release(self, until_s: float) -> List[RequestResult]:
         out = []

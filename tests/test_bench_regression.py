@@ -420,6 +420,81 @@ class TestCompareForward:
         assert "cases.serve.b1.speedup" in info
 
 
+def generate_digest(exact=True, err=0.0, ragged=True, speedup=2.6,
+                    min_speedup=2.0):
+    return {
+        "bench": "generate",
+        "smoke": False,
+        "seed": 0,
+        "repeats": 5,
+        "cases": {
+            "serve.dense": {
+                "prompt_len": 5, "new_tokens": 10, "kv_capable": True,
+                "eager_tok_ms": 1.1, "compiled_tok_ms": 1.1 / speedup,
+                "speedup": speedup, "exact": exact,
+                "max_abs_err": err, "ragged_exact": ragged,
+            },
+        },
+        "batching": {"streams": 8, "new_tokens_per_stream": 10,
+                     "batched_tok_ms": 0.13, "eager_tok_ms": 1.2,
+                     "speedup": 9.2},
+        "acceptance": {"case": "serve.dense", "speedup": speedup,
+                       "min_speedup": min_speedup, "exact": exact,
+                       "ragged_exact": ragged},
+    }
+
+
+class TestCompareGenerate:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_generate(generate_digest(), generate_digest())
+        assert all(verdicts(findings).values())
+
+    def test_exactness_breach_fails(self):
+        findings = gate.compare_generate(generate_digest(),
+                                         generate_digest(exact=False))
+        assert verdicts(findings)["cases.serve.dense.exact"] is False
+
+    def test_logprob_err_breach_fails(self):
+        # bit-exactness: even a 1e-16 logprob deviation is a gate failure
+        findings = gate.compare_generate(generate_digest(),
+                                         generate_digest(err=1e-16))
+        assert verdicts(findings)["cases.serve.dense.max_abs_err"] is False
+
+    def test_ragged_schedule_breach_fails(self):
+        findings = gate.compare_generate(generate_digest(),
+                                         generate_digest(ragged=False))
+        assert verdicts(findings)["cases.serve.dense.ragged_exact"] is False
+
+    def test_speedup_below_floor_fails(self):
+        findings = gate.compare_generate(generate_digest(),
+                                         generate_digest(speedup=1.4))
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_baseline_floor_is_authoritative(self):
+        # a fresh run cannot lower the gate by shipping a smaller floor
+        fresh = generate_digest(speedup=2.2)
+        fresh["acceptance"]["min_speedup"] = 1.0
+        findings = gate.compare_generate(generate_digest(min_speedup=2.5),
+                                         fresh)
+        assert verdicts(findings)["acceptance.speedup"] is False
+
+    def test_dropped_case_fails(self):
+        fresh = generate_digest()
+        fresh["cases"] = {}
+        findings = gate.compare_generate(generate_digest(), fresh)
+        assert verdicts(findings)["cases.serve.dense"] is False
+
+    def test_wall_clock_never_gated(self):
+        fresh = generate_digest(speedup=0.01)
+        fresh["acceptance"]["speedup"] = 2.6  # per-case speedups are info
+        fresh["batching"]["speedup"] = 0.01
+        findings = gate.compare_generate(generate_digest(), fresh)
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "cases.serve.dense.speedup" in info
+        assert "batching.speedup" in info
+        assert all(verdicts(findings).values())
+
+
 def fig3_digest(best_aw=0.62, best_reward=0.55, front=None, feasible=6,
                 l3=0.3):
     front = front if front is not None else [[0.58, 1.2e6], [0.62, 9.5e5]]
