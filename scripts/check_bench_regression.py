@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """CI multi-bench regression gate over every committed paper artifact.
 
-Thirteen benches are registered, covering the full paper surface (Tables
+Fourteen benches are registered, covering the full paper surface (Tables
 I-IV, Figures 3-5, the design ablations) plus the serving/kernel/forward
-/decode performance benches.  For every registered bench the gate loads the
+/decode/fault-tolerance performance benches.  For every registered bench the gate loads the
 committed ``benchmarks/results/BENCH_<name>.json`` baseline *before*
 anything can overwrite it, re-runs the bench at the baseline's own
 recorded configuration (seeds, episode counts, task lists), and fails
@@ -31,6 +31,14 @@ when the fresh run regresses.  Per-bench rules:
              logprobs, solo or under the ragged continuous-batching
              schedule, on any committed case — fails, as does the
              per-token speedup dropping below the committed floor.
+``faults``   the fault-injection serve is a deterministic simulation:
+             conservation (completed + shed == submitted) and
+             bit-exactness against the fault-free serve of the
+             surviving set must hold for both shed policies, the
+             shed/degraded/requeued/retried counters must match the
+             baseline exactly, ``degrade`` must shed strictly fewer
+             requests than ``reject``, and shed rates / recovery lag
+             must stay inside the committed acceptance budgets.
 ``table``    the Table-I V/F row set must match exactly (it is paper
              configuration); modelled power gets a 1% band.
 ``table2``   the Table-II reconfiguration row set and E1/E2/E3 run
@@ -69,7 +77,7 @@ never gated.  The shared comparison report lands in
 artifact next to the ``BENCH_<name>.fresh.json`` digests).  After an
 intentional performance change, regenerate and commit the baselines with
 ``--update-baseline``.  See ``docs/benchmarks.md`` for the full
-bench/gate contract and how to register bench #14.
+bench/gate contract and how to register bench #15.
 """
 
 from __future__ import annotations
@@ -427,6 +435,92 @@ def compare_generate(baseline: dict, fresh: dict) -> List[dict]:
                               _lookup(fresh, "batching.speedup"),
                               note="informational (continuous-batching "
                                    "wall-clock ratio)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# faults (fault-tolerance) bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+# deterministic per-policy counters gated by exact equality
+FAULT_COUNTERS = ("submitted", "completed", "shed", "degraded", "failures",
+                  "recoveries", "requeued_batches", "retried_batches")
+
+
+def compare_faults(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two fault-tolerance digests; one finding per checked metric.
+
+    Coverage is anchored on the baseline: a shed policy present in the
+    committed digest but absent from the fresh run fails.  The faulted
+    serve is a deterministic simulation, so every counter gates by exact
+    equality; the invariants (conservation, bit-exactness vs the
+    fault-free serve of the surviving set, strict reject/degrade
+    separation) and the committed acceptance budgets gate
+    unconditionally — the baseline's budgets are authoritative, so a PR
+    cannot widen the gate by editing the bench constants.
+    """
+    findings: List[dict] = []
+    acc = baseline.get("acceptance", fresh.get("acceptance", {}))
+    fresh_policies = fresh.get("policies", {})
+    for name, base_pol in baseline.get("policies", {}).items():
+        pre = f"policies.{name}"
+        pol = fresh_policies.get(name)
+        if pol is None:
+            findings.append({
+                "metric": pre, "baseline": None, "fresh": None,
+                "gated": True, "ok": False,
+                "note": "gated shed policy missing from fresh run"})
+            continue
+        for flag, note in (
+                ("conserved", "no request may be lost: completed + shed "
+                              "must equal submitted"),
+                ("exact", "completed outputs must be bit-identical to the "
+                          "fault-free serve of the surviving set")):
+            findings.append({
+                "metric": f"{pre}.{flag}", "baseline": 1.0,
+                "fresh": float(bool(pol.get(flag))), "gated": True,
+                "ok": bool(pol.get(flag)), "note": note})
+        for fld in FAULT_COUNTERS:
+            findings.append(find_exact(
+                f"{pre}.{fld}", base_pol.get(fld), pol.get(fld),
+                "deterministic fault simulation: must match baseline "
+                "exactly"))
+        ceiling = acc.get(f"{name}_shed_rate_ceiling")
+        if ceiling is not None:
+            findings.append(find_within(
+                f"{pre}.shed_rate", ceiling, pol.get("shed_rate"),
+                budget=0.0, kind="ceiling",
+                note=f"shed rate must stay <= the committed "
+                     f"{ceiling:.2f} budget"))
+        lag_budget = acc.get("recovery_lag_budget_s")
+        if lag_budget is not None:
+            findings.append(find_within(
+                f"{pre}.recovery_lag_s", lag_budget,
+                pol.get("recovery_lag_s"), budget=0.0, kind="ceiling",
+                note="downed-shard detection lag must stay inside the "
+                     "committed probe-backoff budget"))
+        findings.append(find_info(f"{pre}.retry_penalty_ms",
+                                  base_pol.get("retry_penalty_ms"),
+                                  pol.get("retry_penalty_ms"),
+                                  note="informational (simulated failover "
+                                       "switch charge; counters gate it)"))
+        findings.append(find_info(f"{pre}.p95_latency_ms",
+                                  base_pol.get("p95_latency_ms"),
+                                  pol.get("p95_latency_ms"),
+                                  note="informational (simulated; the "
+                                       "counters gate the behaviour)"))
+    reject_shed = _lookup(fresh, "policies.reject.shed")
+    degrade_shed = _lookup(fresh, "policies.degrade.shed")
+    strict = (reject_shed is not None and degrade_shed is not None
+              and degrade_shed < reject_shed)
+    findings.append({
+        "metric": "separation.strict",
+        "baseline": 1.0, "fresh": float(strict), "gated": True,
+        "ok": strict,
+        "note": "graceful degradation must shed strictly fewer requests "
+                "than deadline-aware rejection"})
+    findings.append(find_info("wall_s", _lookup(baseline, "wall_s"),
+                              _lookup(fresh, "wall_s")))
     return findings
 
 
@@ -850,6 +944,15 @@ def run_fresh_generate(baseline: dict) -> dict:
                      repeats=int(baseline.get("repeats", 5)))
 
 
+def run_fresh_faults(baseline: dict) -> dict:
+    """Re-run the fault-tolerance bench at the committed configuration."""
+    _import_benchmarks()
+    from benchmarks.bench_faults import run_bench
+
+    return run_bench(num_requests=int(baseline.get("requests", 96)),
+                     seed=int(baseline.get("seed", 0)))
+
+
 def run_fresh_fig3(baseline: dict) -> dict:
     """Replay the Figure 3 Pareto exploration at the committed seed."""
     _import_benchmarks()
@@ -947,6 +1050,9 @@ BENCHES: Dict[str, BenchSpec] = {
     "generate": BenchSpec("generate", RESULTS / "BENCH_generate.json",
                           RESULTS / "BENCH_generate.fresh.json",
                           run_fresh_generate, compare_generate),
+    "faults": BenchSpec("faults", RESULTS / "BENCH_faults.json",
+                        RESULTS / "BENCH_faults.fresh.json",
+                        run_fresh_faults, compare_faults),
     "fig3": BenchSpec("fig3", RESULTS / "BENCH_fig3.json",
                       RESULTS / "BENCH_fig3.fresh.json",
                       run_fresh_fig3, compare_fig3),

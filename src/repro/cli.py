@@ -9,7 +9,9 @@ Commands:
 - ``rt3 ablation``  — the Table-IV six-way ablation on a synthetic task
 - ``rt3 serve``     — batched serving of a synthetic traffic scenario
   through the masked model with mask/format caching (``--decode-streams``
-  converts part of the trace into continuously-batched decode streams)
+  converts part of the trace into continuously-batched decode streams;
+  ``--faults``/``--shed-policy`` inject shard failures and pick the
+  overload defense: failover, deadline-aware shedding, degradation)
 - ``rt3 generate``  — token-by-token generation through the KV-cached
   compiled decode plane: staggered streams join and leave a rolling
   batch (``--check`` re-runs eagerly and demands ``==`` outputs)
@@ -196,10 +198,12 @@ def cmd_ablation(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serve import (
         DecodeOptions,
+        FaultPlan,
         ScenarioConfig,
         StackConfig,
         build_scenario,
         build_serving_stack,
+        flaky_fault_overlay,
         stream_scenario,
     )
 
@@ -207,6 +211,10 @@ def cmd_serve(args) -> int:
         max_new_tokens=args.decode_max_new_tokens, top_k=args.decode_top_k,
         temperature=args.decode_temperature, seed=args.decode_seed,
         eos_id=args.decode_eos_id, fast_forward=not args.no_fast_forward)
+    # the stack is always built non-streaming here: the fault plan may
+    # need the trace horizon (--faults flaky), which is only known after
+    # the scenario materializes, so sessions are handed out below via
+    # engine.streaming() once engine.faults is set
     _, workload, engine = build_serving_stack(StackConfig(
         dim=args.dim, vocab_size=args.vocab_size, seq_len=args.seq_len,
         max_len=args.max_len, pattern_size=args.pattern_size, seed=args.seed,
@@ -218,20 +226,30 @@ def cmd_serve(args) -> int:
         fairness_window=args.fairness_window,
         adaptive_low_threshold=args.adaptive_low_threshold,
         decode=decode_opts,
-        streaming=args.streaming,
-        max_wait_s=(args.max_wait_ms / 1e3
-                    if args.max_wait_ms is not None else None)))
+        shed_policy=args.shed_policy, max_queue=args.max_queue,
+        probe_backoff_s=args.probe_backoff_ms / 1e3))
+    max_wait_s = (args.max_wait_ms / 1e3
+                  if args.max_wait_ms is not None else None)
     scenario_cfg = ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
         seq_len=args.seq_len, max_len=args.max_len, seed=args.seed)
+    trace = None
+    if args.faults or args.decode_streams > 0 or not args.streaming:
+        trace = build_scenario(args.scenario, workload, scenario_cfg)
+    if args.faults:
+        if args.faults == "flaky":
+            horizon = max((r.arrival_s for r in trace), default=0.0) or 1.0
+            engine.faults = flaky_fault_overlay(args.devices, horizon,
+                                                seed=args.fault_seed)
+        else:
+            engine.faults = FaultPlan.parse(args.faults)
     if args.decode_streams > 0:
         # mixed traffic: the first N arrivals become continuously-batched
         # decode streams (prompt continued token-by-token on the shard's
         # decode lane); the rest stay one-shot batch requests
-        trace = build_scenario(args.scenario, workload, scenario_cfg)
         ordered = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
         decode_ids = {r.req_id for r in ordered[:args.decode_streams]}
-        core = engine if args.streaming else engine.streaming()
+        core = engine.streaming(max_wait_s=max_wait_s)
         for req in ordered:
             if req.req_id in decode_ids:
                 core.submit_decode(req)
@@ -240,15 +258,17 @@ def cmd_serve(args) -> int:
         core.drain()
         report = core.report()
     elif args.streaming:
-        # online path: the lazy arrival stream is fed through the event
-        # loop one request at a time (StreamingEngine.play owns the
-        # feeding discipline), forming micro-batches at admission time
-        completed = engine.play(stream_scenario(args.scenario, workload,
-                                                scenario_cfg))
-        report = engine.report()
+        # online path: the arrival stream is fed through the event loop
+        # one request at a time (StreamingEngine.play owns the feeding
+        # discipline), forming micro-batches at admission time; lazy
+        # unless the flaky overlay already forced materialization
+        core = engine.streaming(max_wait_s=max_wait_s)
+        completed = core.play(trace if trace is not None
+                              else stream_scenario(args.scenario, workload,
+                                                   scenario_cfg))
+        report = core.report()
         assert len(completed) == report.num_requests
     else:
-        trace = build_scenario(args.scenario, workload, scenario_cfg)
         report = engine.serve(trace)
     summary = {"scenario": args.scenario, "batch_size": args.batch_size,
                "cache_enabled": not args.no_cache,
@@ -431,6 +451,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="decode sampling seed (per-stream RNG)")
     p_serve.add_argument("--decode-eos-id", type=int, default=None,
                          help="token id ending a decode stream early")
+    p_serve.add_argument("--faults", default=None,
+                         help="fault schedule: 'flaky' for the seeded "
+                              "random overlay, or a spec like "
+                              "'crash:1@0.2+0.3,slow:2@0.1+0.2x3' "
+                              "(kind:shard@at[+duration][xfactor], times "
+                              "in simulated seconds)")
+    p_serve.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the 'flaky' fault overlay")
+    p_serve.add_argument("--shed-policy", default="none",
+                         choices=["none", "reject", "degrade"],
+                         help="admission overload defense: reject sheds "
+                              "requests whose estimated completion misses "
+                              "the SLO; degrade first retries sparser "
+                              "feasible patterns before shedding")
+    p_serve.add_argument("--max-queue", type=int, default=None,
+                         help="bounded admission queue: shed arrivals once "
+                              "this many requests/batches are waiting")
+    p_serve.add_argument("--probe-backoff-ms", type=float, default=5.0,
+                         help="first re-probe interval for a downed shard "
+                              "(doubles per missed probe)")
     p_serve.add_argument("--streaming", action="store_true",
                          help="feed the scenario arrival-by-arrival through "
                               "the online submit/tick/drain event loop "

@@ -60,7 +60,20 @@ Layout
   / ``bandwidth`` lazy traffic streams (``stream_scenario``) with the
   offline ``build_scenario`` materializer; ``bandwidth`` is the paper's
   translation example, a fluctuating network-bandwidth trace driving
-  per-request deadline jitter;
+  per-request deadline jitter; ``flaky_fault_overlay`` layers a seeded
+  schedule of shard failures onto any of them;
+- :mod:`~repro.serve.faults`    — deterministic fault injection and the
+  failure-handling vocabulary: :class:`FaultPlan` schedules of
+  :class:`ShardFault` crash/stall/slow events (``FaultPlan.parse`` reads
+  the CLI's ``kind:shard@at[+duration][xfactor]`` spec), the
+  :class:`FaultInjector` that validates one against a device fleet, the
+  shard health states (``HEALTHY``/``DEGRADED``/``DOWN``) and the
+  admission shed policies (``none``/``reject``/``degrade``) with their
+  per-request :class:`ShedRecord` accounting.  A crashed shard's queued
+  and in-flight work fails over to healthy shards (charged like a
+  pattern switch), downed shards re-probe with exponential backoff, and
+  every completed output stays bit-identical to a fault-free serve of
+  the surviving requests;
 - :mod:`~repro.serve.cache`     — the byte-budgeted LRU
   :class:`ArtifactCache`: artifacts are charged their honest device
   footprint (masks bit-packed, one bit per position) and evicted
@@ -76,6 +89,13 @@ feeds a scenario arrival-by-arrival through the online loop;
 (``--drain-policy adaptive`` lets each device pick for itself;
 ``--no-time-slice`` restores whole-batch completions;
 ``--cache-budget-kb`` sizes the artifact cache).
+``rt3 serve --scenario bursty --devices 4 --window-ms 2 --faults flaky
+--shed-policy degrade`` injects a seeded shard-failure overlay and
+degrades infeasible requests to sparser patterns before shedding
+(``--faults 'crash:1@0.2+0.3'`` scripts an exact schedule;
+``--shed-policy reject`` sheds on predicted SLO misses; ``--max-queue``
+bounds the admission backlog; ``--probe-backoff-ms`` tunes downed-shard
+re-probing).
 ``benchmarks/bench_serve.py`` measures the batched-vs-single speedup
 and the multi-device scaling (``BENCH_serve.json``);
 ``benchmarks/bench_stream.py`` sweeps the admission window on bursty
@@ -91,6 +111,11 @@ throughput/p95 drift + exactness; stream: exactness, batching
 monotonicity, endpoint drift; kernels: op counts, exactness, speedup
 floor; table/table2: deterministic row/run-total equality; forward:
 bit-exactness, node/alloc counts, speedup floor).
+``benchmarks/bench_faults.py`` injects a deterministic shard outage on
+bursty traffic and asserts the fault-tolerance invariants —
+conservation (completed + shed == submitted), bit-exact completed
+outputs vs a fault-free serve of the surviving set, and a strictly
+lower shed rate for ``degrade`` than ``reject`` (``BENCH_faults.json``).
 """
 
 from repro.serve.batcher import (
@@ -105,6 +130,17 @@ from repro.serve.batcher import (
 from repro.serve.cache import ArtifactCache, CacheStats, LRUCache, artifact_nbytes
 from repro.serve.decode import DecodeJob, DecodeLane, DecodeOptions
 from repro.serve.engine import ServeEngine
+from repro.serve.faults import (
+    DEGRADED,
+    DOWN,
+    FAULT_KINDS,
+    HEALTHY,
+    SHED_POLICIES,
+    FaultInjector,
+    FaultPlan,
+    ShardFault,
+    ShedRecord,
+)
 from repro.serve.streaming import ServeReport, StreamingEngine
 from repro.serve.sharding import (
     DRAIN_POLICIES,
@@ -122,6 +158,7 @@ from repro.serve.scenarios import (
     battery_drain_longtail,
     build_scenario,
     bursty_interactive,
+    flaky_fault_overlay,
     steady_translation,
     stream_scenario,
 )
@@ -130,13 +167,19 @@ __all__ = [
     "AdmissionQueue",
     "ArtifactCache",
     "CacheStats",
+    "DEGRADED",
+    "DOWN",
     "DRAIN_POLICIES",
     "DecodeJob",
     "DecodeLane",
     "DecodeOptions",
     "DeviceShard",
     "Dispatcher",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
     "FlushedGroup",
+    "HEALTHY",
     "artifact_nbytes",
     "InferenceRequest",
     "LRUCache",
@@ -145,10 +188,13 @@ __all__ = [
     "QueuedBatch",
     "RequestResult",
     "SCENARIOS",
+    "SHED_POLICIES",
     "ScenarioConfig",
     "ServeEngine",
     "ServeReport",
+    "ShardFault",
     "ShardStats",
+    "ShedRecord",
     "StackConfig",
     "StreamingEngine",
     "bandwidth_fluctuation",
@@ -156,6 +202,7 @@ __all__ = [
     "build_scenario",
     "build_serving_stack",
     "bursty_interactive",
+    "flaky_fault_overlay",
     "pad_batch",
     "run_padded",
     "steady_translation",

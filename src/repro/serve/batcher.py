@@ -59,15 +59,28 @@ class InferenceRequest:
     deadline_s: float = float("inf")
     level_name: str = "l6"
     slo_s: Optional[float] = None
+    # original deadline_s before graceful degradation re-stamped the
+    # request to a sparser rung's latency (None = never degraded); set
+    # by the engine's "degrade" shed policy, recorded for reporting
+    degraded_from_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.tokens = np.asarray(self.tokens)
         if self.tokens.ndim != 1 or self.tokens.size == 0:
             raise ValueError("request tokens must be a non-empty 1-D sequence")
-        if self.deadline_s <= 0:
-            raise ValueError("deadline must be positive")
-        if self.slo_s is not None and self.slo_s <= 0:
-            raise ValueError("slo must be positive")
+        # NaN fails every comparison, so it must be ruled out explicitly
+        # (a bare `<= 0` check silently admits it); inf is legal — "no
+        # deadline" — but a budget can never be negative, zero, or NaN
+        if np.isnan(self.deadline_s) or self.deadline_s <= 0:
+            raise ValueError("deadline must be positive (and not NaN)")
+        if self.slo_s is not None:
+            if np.isnan(self.slo_s) or self.slo_s <= 0:
+                raise ValueError("slo must be positive (and not NaN)")
+            if self.slo_s < self.deadline_s:
+                raise ValueError(
+                    f"slo_s ({self.slo_s}) must be at least deadline_s "
+                    f"({self.deadline_s}): the end-to-end objective absorbs "
+                    "queueing and batching on top of the compute deadline")
 
     @property
     def length(self) -> int:
@@ -92,6 +105,15 @@ class RequestResult:
     sparsity: Optional[float] = None
     # which simulated device served the batch (0 on a single-device engine)
     shard_id: int = 0
+    # retracted by a mid-execution device crash: the result never left
+    # the engine (its members re-execute on a healthy shard) and is
+    # skipped by release/report
+    canceled: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """Served at a degraded (sparser-than-requested) operating point."""
+        return self.request.degraded_from_s is not None
 
     @property
     def latency_s(self) -> float:

@@ -138,6 +138,28 @@ class DecodeLane:
         return sorted(self.groups,
                       key=lambda k: (k[0], -1.0 if k[1] is None else k[1]))
 
+    def evacuate(self) -> List[DecodeJob]:
+        """Pull every job off the lane (pending *and* active) for failover.
+
+        Called when the owning device goes down: sessions are closed and
+        active streams restart from their prompt on whatever device they
+        land on next.  Decode is deterministic in (prompt, config) — the
+        per-stream sampling RNG is seeded at prompt submission — so the
+        regenerated stream is bit-identical to an uninterrupted run.
+        Jobs come back in deterministic order: pending by arrival, then
+        active streams in group/sid order.
+        """
+        jobs = [job for _, _, job in sorted(self.pending)]
+        self.pending = []
+        for key in self.group_keys():
+            group = self.groups[key]
+            jobs.extend(group.streams[sid].job
+                        for sid in sorted(group.streams))
+            group.streams.clear()
+            group.session.close()
+        self.groups = {}
+        return jobs
+
     def prune(self) -> None:
         """Drop groups whose every stream has finished and been read out."""
         for key in list(self.groups):

@@ -60,6 +60,7 @@ from repro.nn.generation import GenerationConfig
 from repro.serve.batcher import InferenceRequest, MicroBatcher
 from repro.serve.cache import ArtifactCache
 from repro.serve.decode import DecodeOptions
+from repro.serve.faults import SHED_POLICIES, FaultPlan
 from repro.serve.sharding import DRAIN_POLICIES, POLICIES
 from repro.serve.streaming import ServeReport, StreamingEngine
 
@@ -102,9 +103,16 @@ class ServeEngine:
                  adaptive_threshold: float = 0.5,
                  adaptive_low_threshold: Optional[float] = None,
                  fast_forward: bool = True,
-                 decode: Optional[DecodeOptions] = None) -> None:
+                 decode: Optional[DecodeOptions] = None,
+                 faults: Optional[FaultPlan] = None,
+                 shed_policy: str = "none",
+                 max_queue: Optional[int] = None,
+                 probe_backoff_s: float = 0.005) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {shed_policy!r}; "
+                             f"options: {list(SHED_POLICIES)}")
         if drain_policy not in DRAIN_POLICIES:
             raise ValueError(f"unknown drain policy {drain_policy!r}; "
                              f"options: {list(DRAIN_POLICIES)}")
@@ -157,6 +165,16 @@ class ServeEngine:
         # resident (installed before traffic, so not charged to the
         # serving timeline).  Default False keeps cold-start accounting.
         self.prewarm = prewarm
+        # fault tolerance: ``faults`` schedules shard crash/stall/slow
+        # events (times are simulated seconds from *session* start —
+        # every serve() builds a fresh session, so a plan replays
+        # identically on each call); ``shed_policy``/``max_queue`` are
+        # the admission overload defenses; ``probe_backoff_s`` is the
+        # first re-probe interval for a downed shard (then doubling)
+        self.faults = faults
+        self.shed_policy = shed_policy
+        self.max_queue = max_queue
+        self.probe_backoff_s = probe_backoff_s
         # installed pattern set per device, surviving across serve() calls
         self._device_state: Dict[int, Optional[float]] = {}
         # kept for offline trace grouping / introspection; the streaming
@@ -198,6 +216,9 @@ class ServeEngine:
             adaptive_threshold=self.adaptive_threshold,
             adaptive_low_threshold=self.adaptive_low_threshold,
             decode=self.decode_options,
+            faults=self.faults, shed_policy=self.shed_policy,
+            max_queue=self.max_queue,
+            probe_backoff_s=self.probe_backoff_s,
             initial_device_state=dict(self._device_state))
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:

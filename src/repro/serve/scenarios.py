@@ -47,6 +47,7 @@ from repro.hardware.dvfs import DVFSTable, BatteryGovernor
 from repro.hardware.latency import LatencyModel, SparsityKind
 from repro.hardware.workload import WorkloadProfile
 from repro.serve.batcher import InferenceRequest
+from repro.serve.faults import FaultPlan, ShardFault
 
 
 @dataclass
@@ -215,6 +216,55 @@ def bandwidth_fluctuation(workload: WorkloadProfile,
                                arrival_s=t, deadline_s=deadline,
                                level_name=level.name,
                                slo_s=deadline + slo_margin_s)
+
+
+# ---------------------------------------------------------------------------
+# fault overlays (schedules of shard failures layered onto any scenario)
+# ---------------------------------------------------------------------------
+
+def flaky_fault_overlay(devices: int, horizon_s: float, seed: int = 0,
+                        crash_rate: float = 1.0, stall_rate: float = 1.0,
+                        slow_rate: float = 1.0) -> FaultPlan:
+    """A seeded schedule of shard crashes, stalls and slow windows.
+
+    The overlay is independent of the traffic scenario it rides on: it
+    only needs the shard count and the trace horizon.  Event *counts*
+    scale with the ``*_rate`` multipliers (defaults draw roughly one
+    crash, one stall and one slow window per four shards over the
+    horizon); times, victims, durations and slowdown factors all come
+    from one ``numpy`` generator, so a (devices, horizon, seed) triple
+    names exactly one plan.  Crash outages are finite (between 10% and
+    35% of the horizon) so the failover path always exercises the
+    re-probe/rejoin arc, never a permanent loss.
+    """
+    if devices < 1:
+        raise ValueError("devices must be at least 1")
+    if not np.isfinite(horizon_s) or horizon_s <= 0.0:
+        raise ValueError("horizon_s must be positive and finite")
+    rng = np.random.default_rng(seed)
+    events: List[ShardFault] = []
+
+    def _draws(rate: float) -> int:
+        if rate < 0.0:
+            raise ValueError("fault rates must be non-negative")
+        mean = rate * max(1, devices) / 4.0
+        return int(rng.poisson(mean)) if mean > 0.0 else 0
+
+    crash_draws = _draws(crash_rate)  # validates the rate even when zero
+    for _ in range(max(1, crash_draws) if crash_rate > 0 else 0):
+        at = float(rng.uniform(0.05, 0.6)) * horizon_s
+        down = float(rng.uniform(0.10, 0.35)) * horizon_s
+        events.append(ShardFault("crash", int(rng.integers(devices)), at, down))
+    for _ in range(_draws(stall_rate)):
+        at = float(rng.uniform(0.05, 0.9)) * horizon_s
+        hold = float(rng.uniform(0.02, 0.10)) * horizon_s
+        events.append(ShardFault("stall", int(rng.integers(devices)), at, hold))
+    for _ in range(_draws(slow_rate)):
+        at = float(rng.uniform(0.05, 0.8)) * horizon_s
+        span = float(rng.uniform(0.05, 0.20)) * horizon_s
+        events.append(ShardFault("slow", int(rng.integers(devices)), at, span,
+                                 factor=float(rng.uniform(1.5, 4.0))))
+    return FaultPlan(sorted(events, key=lambda f: (f.at_s, f.shard_id, f.kind)))
 
 
 SCENARIOS: Dict[str, Callable[..., Iterator[InferenceRequest]]] = {

@@ -51,10 +51,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.serve.batcher import InferenceRequest
-from repro.serve.decode import DecodeLane
+from repro.serve.decode import DecodeJob, DecodeLane
+from repro.serve.faults import DEGRADED, DOWN, HEALTHY
 
 POLICIES = ("round-robin", "least-loaded", "switch-aware")
 DRAIN_POLICIES = ("fifo", "level-affinity", "adaptive")
@@ -72,6 +73,14 @@ class QueuedBatch:
     # feasible sparsity resolved at routing time (None = infeasible);
     # carried so the drain phase never repeats the ladder walk
     sparsity: Optional[float] = None
+    # failover bookkeeping: how many times this batch was pulled off a
+    # dead shard (each requeue is charged like a pattern switch at
+    # execution), and which members already completed before a crash
+    # retracted the rest (the re-execution recomputes the full batch —
+    # identical membership keeps the bits identical — but only emits
+    # results for members not already done)
+    requeues: int = 0
+    done_ids: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -96,6 +105,19 @@ class ShardStats:
     # on this device and streams completed here)
     decode_streams: int = 0
     decode_tokens: int = 0
+    # fault-tolerance accounting: crash/recovery counts, batches pulled
+    # off this shard when it died, failed-over batches re-executed here
+    # (with the pattern-switch-like penalty they paid), transient stall
+    # windows, the worst detection lag between physical recovery and the
+    # re-probe that noticed it, and the health the run ended on
+    failures: int = 0
+    recoveries: int = 0
+    requeued_batches: int = 0
+    retried_batches: int = 0
+    retry_penalty_s: float = 0.0
+    stalls: int = 0
+    recovery_lag_s: float = 0.0
+    health: str = HEALTHY
 
     @property
     def service_throughput_rps(self) -> float:
@@ -117,6 +139,14 @@ class ShardStats:
             "drain_policy": self.drain_policy,
             "decode_streams": self.decode_streams,
             "decode_tokens": self.decode_tokens,
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "requeued_batches": self.requeued_batches,
+            "retried_batches": self.retried_batches,
+            "retry_penalty_s": self.retry_penalty_s,
+            "stalls": self.stalls,
+            "recovery_lag_s": self.recovery_lag_s,
+            "health": self.health,
             "service_throughput_rps": self.service_throughput_rps,
             "utilization": self.utilization(makespan_s),
         }
@@ -195,6 +225,14 @@ class DeviceShard:
         self.assigned_est_s = 0.0
         self.active_sparsity: Optional[float] = None
         self.expected_sparsity: Optional[float] = None
+        # health state machine (healthy / degraded / down): transient
+        # stall/slow windows degrade, a crash takes the shard down until
+        # ``down_until`` (inf = permanently); ``slowdown`` scales compute
+        # time while a slow window is in force (timing only — outputs
+        # are never touched by a slowdown)
+        self.health: str = HEALTHY
+        self.down_until: Optional[float] = None
+        self.slowdown: float = 1.0
         # rolling decode batch resident on this device (continuous
         # batching: streams join/leave at token boundaries)
         self.decode = DecodeLane()
@@ -297,6 +335,99 @@ class DeviceShard:
                 return
             yield batch
 
+    # -- health state machine (driven by the engine's fault events) ----
+    @property
+    def available(self) -> bool:
+        """Can this shard accept and execute work right now?"""
+        return self.health != DOWN
+
+    def fail(self, now_s: float, down_until_s: float
+             ) -> Tuple[List[QueuedBatch], List[DecodeJob]]:
+        """Crash: go down and hand back every piece of queued work.
+
+        Returns ``(batches, decode_jobs)`` in deterministic order
+        (batches by flush seq, decode jobs pending-then-active) for the
+        engine to fail over to healthy shards.  The in-flight batch — at
+        most one can straddle the crash instant, since the fault event
+        sorts ahead of the shard's next ready event — is the *engine's*
+        to retract; by the time ``fail`` runs the clock is already
+        clamped back to the crash instant.
+        """
+        if self.health == DOWN:
+            # overlapping crash: extend the outage, nothing new to evict
+            self.down_until = max(self.down_until or 0.0, down_until_s)
+            return [], []
+        self.health = DOWN
+        self.down_until = down_until_s
+        self.clock_s = min(self.clock_s, now_s)
+        self.stats.failures += 1
+        self.stats.health = DOWN
+        batches = sorted((b for q in self.queues.values() for b in q),
+                         key=lambda b: b.seq)
+        self.queues.clear()
+        self.pending_s = 0.0
+        self.stats.requeued_batches += len(batches)
+        self._current_level = None
+        self._run = 0
+        return batches, self.decode.evacuate()
+
+    def rejoin(self, now_s: float) -> None:
+        """A re-probe found the shard back up: rejoin the fleet."""
+        if self.down_until is not None:
+            self.stats.recovery_lag_s = max(self.stats.recovery_lag_s,
+                                            now_s - self.down_until)
+        self.down_until = None
+        self.clock_s = max(self.clock_s, now_s)
+        self.stats.recoveries += 1
+        # leave DOWN explicitly, then re-derive healthy-vs-degraded (a
+        # slowdown window may still be open); ``restore`` alone would
+        # early-return on the DOWN guard and strand the shard
+        self.health = HEALTHY
+        self.restore()
+
+    def stall(self, until_s: float) -> None:
+        """Freeze until ``until_s``: the clock jumps, no work is lost."""
+        self.clock_s = max(self.clock_s, until_s)
+        self.stats.stalls += 1
+        if self.health == HEALTHY:
+            self.health = DEGRADED
+            self.stats.health = DEGRADED
+
+    def slow(self, factor: float) -> None:
+        """Enter a slowdown window: compute takes ``factor``× longer."""
+        self.slowdown = factor
+        if self.health == HEALTHY:
+            self.health = DEGRADED
+            self.stats.health = DEGRADED
+
+    def slow_end(self) -> None:
+        self.slowdown = 1.0
+        self.restore()
+
+    def restore(self) -> None:
+        """Re-derive health once a window ends (down shards stay down)."""
+        if self.health == DOWN:
+            return
+        self.health = HEALTHY if self.slowdown == 1.0 else DEGRADED
+        self.stats.health = self.health
+
+    def rollback_inflight(self, now_s: float, lost_members: int,
+                          batch_end_s: float, lost_batch: bool) -> None:
+        """Retract the accounting tail of a batch killed mid-execution.
+
+        The batch occupied this device from its begin to ``batch_end_s``;
+        a crash at ``now_s`` inside that window means the tail never
+        happened — the surviving members' results (completions at or
+        before the crash) stand, the rest re-execute elsewhere.
+        """
+        self.stats.busy_s = max(0.0,
+                                self.stats.busy_s - max(0.0, batch_end_s - now_s))
+        self.stats.requests -= lost_members
+        if lost_batch:
+            self.stats.batches -= 1
+        self.stats.last_completion_s = min(self.stats.last_completion_s, now_s)
+        self.clock_s = min(self.clock_s, now_s)
+
     # -- execution accounting (called by the engine) -------------------
     def record_decode(self, service_s: float, completion_s: float,
                       tokens: int, finished: int, switches: int) -> None:
@@ -314,9 +445,12 @@ class DeviceShard:
         self.stats.switches += switches
 
     def record(self, batch: QueuedBatch, service_s: float, completion_s: float,
-               switched: bool) -> None:
+               switched: bool, members: Optional[int] = None) -> None:
+        # ``members`` overrides the request count for failover re-executions:
+        # the full batch recomputes (identical membership keeps the bits
+        # identical) but only not-yet-done members complete here
         self.clock_s = completion_s
-        self.stats.requests += len(batch)
+        self.stats.requests += len(batch) if members is None else members
         self.stats.batches += 1
         self.stats.busy_s += service_s
         self.stats.last_completion_s = completion_s

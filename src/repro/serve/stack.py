@@ -20,6 +20,7 @@ from repro.nn.transformer import TransformerConfig, TransformerLM
 from repro.serve.cache import ArtifactCache
 from repro.serve.decode import DecodeOptions
 from repro.serve.engine import ServeEngine
+from repro.serve.faults import FaultPlan
 from repro.serve.streaming import StreamingEngine
 
 
@@ -68,6 +69,14 @@ class StackConfig:
     # as its admission window when set
     streaming: bool = False
     max_wait_s: Optional[float] = None
+    # fault tolerance: a FaultPlan of shard crash/stall/slow events (times
+    # are simulated seconds from session start), the admission overload
+    # defenses (shed_policy: none|reject|degrade, bounded queue), and the
+    # first re-probe interval for downed shards (doubling per miss)
+    faults: Optional[FaultPlan] = None
+    shed_policy: str = "none"
+    max_queue: Optional[int] = None
+    probe_backoff_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.fast_forward is not None:
@@ -107,7 +116,10 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                          adaptive_window=cfg.adaptive_window,
                          adaptive_threshold=cfg.adaptive_threshold,
                          adaptive_low_threshold=cfg.adaptive_low_threshold,
-                         decode=cfg.decode)
+                         decode=cfg.decode,
+                         faults=cfg.faults, shed_policy=cfg.shed_policy,
+                         max_queue=cfg.max_queue,
+                         probe_backoff_s=cfg.probe_backoff_s)
     if cfg.streaming:
         return model, workload, engine.streaming(max_wait_s=cfg.max_wait_s)
     return model, workload, engine

@@ -36,9 +36,24 @@ timeline for the same arrival stream, which is exactly how the offline
 :meth:`~repro.serve.engine.ServeEngine.serve` wrapper reproduces its
 historical behaviour on top of this loop.
 
-At equal simulated times, arrivals are processed before window closes
-before shard executions (then submission order), so ties are
-deterministic.
+At equal simulated times, fault events land first, then arrivals, then
+window closes, then shard executions (then submission order), so ties
+are deterministic.
+
+Fault tolerance (:mod:`repro.serve.faults`) folds into the same heap: a
+:class:`~repro.serve.faults.FaultPlan` schedules crash/stall/slow
+events, a crashed shard's queued and in-flight work fails over to
+healthy shards through the same dispatcher (each requeued batch is
+charged one pattern-switch-equivalent at execution), downed shards are
+re-probed at exponentially backed-off intervals, and admission gains
+two overload defenses (``shed_policy``/``max_queue``): deadline-aware
+shedding and graceful degradation to sparser pattern rungs.  Shedding
+and degradation both happen *before* a request touches the admission
+queue, so the surviving requests group into exactly the micro-batches a
+fault-free serve of the same survivors would form — which is what makes
+every completed output bit-identical to that fault-free serve (the
+faults bench's core invariant, alongside conservation:
+``completed + shed == submitted``).
 """
 
 from __future__ import annotations
@@ -46,6 +61,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -65,6 +81,13 @@ from repro.serve.batcher import (
 )
 from repro.serve.cache import ArtifactCache, CacheStats
 from repro.serve.decode import DecodeJob, DecodeOptions
+from repro.serve.faults import (
+    SHED_POLICIES,
+    FaultInjector,
+    FaultPlan,
+    ShardFault,
+    ShedRecord,
+)
 from repro.serve.sharding import (
     DRAIN_POLICIES,
     POLICIES,
@@ -74,8 +97,10 @@ from repro.serve.sharding import (
     ShardStats,
 )
 
-# event-kind priorities: at one simulated instant, admissions land before
-# batch windows close before devices pick their next batch
+# event-kind priorities: at one simulated instant, fault events land
+# before admissions before batch windows close before devices pick their
+# next batch (a crash at an arrival's instant is visible to that arrival)
+_FAULT = -1
 _ARRIVAL, _WINDOW_CLOSE, _SHARD_READY = 0, 1, 2
 
 
@@ -91,6 +116,12 @@ class ServeReport:
     shard_stats: List[ShardStats] = field(default_factory=list)
     policy: str = "round-robin"
     time_sliced: bool = True
+    # fault-tolerance accounting: requests refused at admission (with
+    # reasons) and the conservation pair — every submitted request is
+    # accounted for as completed or shed, never silently lost
+    shed: List[ShedRecord] = field(default_factory=list)
+    submitted: int = 0
+    completed: int = 0
 
     # -- request-level aggregates --------------------------------------
     @property
@@ -179,6 +210,47 @@ class ServeReport:
         """Batches whose compute deadline no pattern set could meet."""
         return sum(1 for e in self.events if e.chosen_sparsity is None)
 
+    # -- fault-tolerance aggregates ------------------------------------
+    @property
+    def num_shed(self) -> int:
+        return len(self.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.num_shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def conserved(self) -> bool:
+        """No request silently lost: completed + shed == submitted."""
+        return self.completed + self.num_shed == self.submitted
+
+    @property
+    def degraded_requests(self) -> int:
+        """Completions served at a degraded (sparser) operating point."""
+        return sum(1 for r in self.results if r.degraded)
+
+    @property
+    def failures(self) -> int:
+        return sum(s.failures for s in self.shard_stats)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(s.recoveries for s in self.shard_stats)
+
+    @property
+    def requeued_batches(self) -> int:
+        """Batches pulled off dead shards and failed over."""
+        return sum(s.requeued_batches for s in self.shard_stats)
+
+    @property
+    def stalls(self) -> int:
+        return sum(s.stalls for s in self.shard_stats)
+
+    @property
+    def max_recovery_lag_s(self) -> float:
+        """Worst probe-detection lag past a shard's physical recovery."""
+        return max((s.recovery_lag_s for s in self.shard_stats), default=0.0)
+
     def summary(self) -> dict:
         """Machine-readable digest (consumed by the bench JSON output)."""
         out = {
@@ -200,6 +272,31 @@ class ServeReport:
         if self.decode_tokens:
             out["decode_streams"] = self.decode_streams
             out["decode_tokens"] = self.decode_tokens
+        if (self.shed or self.degraded_requests or self.failures
+                or self.stalls):
+            # only when fault/overload traffic actually happened, so the
+            # committed fault-free bench digests replay unchanged
+            reasons: Dict[str, int] = {}
+            for rec in self.shed:
+                reasons[rec.reason] = reasons.get(rec.reason, 0) + 1
+            out["faults"] = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "shed": self.num_shed,
+                "shed_rate": self.shed_rate,
+                "shed_reasons": reasons,
+                "conserved": self.conserved,
+                "degraded_requests": self.degraded_requests,
+                "failures": self.failures,
+                "recoveries": self.recoveries,
+                "requeued_batches": self.requeued_batches,
+                "retried_batches": sum(s.retried_batches
+                                       for s in self.shard_stats),
+                "retry_penalty_s": sum(s.retry_penalty_s
+                                       for s in self.shard_stats),
+                "stalls": self.stalls,
+                "max_recovery_lag_ms": 1e3 * self.max_recovery_lag_s,
+            }
         if self.shard_stats:
             makespan = self.sim_makespan_s
             out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
@@ -248,7 +345,11 @@ class StreamingEngine:
                  initial_device_state: Optional[Dict[int, Optional[float]]] = None,
                  retain_results: bool = True,
                  fast_forward: bool = True,
-                 decode: Optional[DecodeOptions] = None) -> None:
+                 decode: Optional[DecodeOptions] = None,
+                 faults: Optional[FaultPlan] = None,
+                 shed_policy: str = "none",
+                 max_queue: Optional[int] = None,
+                 probe_backoff_s: float = 0.005) -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if policy not in POLICIES:
@@ -259,6 +360,11 @@ class StreamingEngine:
                              f"options: {list(DRAIN_POLICIES)}")
         if not np.isfinite(max_wait_s) or max_wait_s < 0:
             raise ValueError("max_wait_s must be finite and non-negative")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {shed_policy!r}; "
+                             f"options: {list(SHED_POLICIES)}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None)")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -323,6 +429,27 @@ class StreamingEngine:
         self._wall = 0.0
         self._cache_start = (cache.stats.snapshot()
                              if cache is not None else None)
+        # -- fault tolerance + admission control -----------------------
+        self.shed_policy = shed_policy
+        self.max_queue = max_queue
+        self.injector = (FaultInjector(faults, devices, probe_backoff_s)
+                         if faults is not None else None)
+        self._shed: List[ShedRecord] = []
+        self._submitted = 0
+        self._completed = 0
+        # work that had nowhere to go during a total outage, held until
+        # a shard rejoins (or shed if the last recovery is cancelled)
+        self._parked: List[QueuedBatch] = []
+        self._parked_decode: List[DecodeJob] = []
+        # per shard: the last executed batch/boundary, the only work that
+        # can straddle a later crash instant (events process in time
+        # order, so everything earlier finished before this one began)
+        self._inflight: Dict[int, tuple] = {}
+        if self.injector is not None:
+            for f in self.injector.ordered():
+                heapq.heappush(self._heap, (f.at_s, _FAULT,
+                                            next(self._tiebreak),
+                                            ("fault", f)))
 
     # ------------------------------------------------------------------
     @property
@@ -348,9 +475,18 @@ class StreamingEngine:
         if self._plan is None:
             try:
                 self._plan = compile_inference(self.model)
-            except (UnsupportedModel, ValueError):
-                # unknown architecture (or a model left in training
-                # mode): serve through the eager Tensor path instead
+            except UnsupportedModel:
+                # unknown architecture: the designed fallback — serve
+                # through the eager Tensor path instead (same bits)
+                self.fast_forward = False
+                return None
+            except ValueError as exc:
+                # a *supported* model that cannot compile (left in
+                # training mode, say) is a misconfiguration; falling
+                # back silently would hide a large perf regression
+                warnings.warn(
+                    f"compile_inference failed ({exc}); serving through "
+                    "the eager Tensor path", RuntimeWarning, stacklevel=2)
                 self.fast_forward = False
                 return None
         return self._plan
@@ -364,7 +500,12 @@ class StreamingEngine:
             try:
                 self._decoder = compile_decode(self.model,
                                                plan=self._forward())
-            except (UnsupportedModel, ValueError):
+            except UnsupportedModel:
+                self._decoder = None
+            except ValueError as exc:
+                warnings.warn(
+                    f"compile_decode failed ({exc}); decode streams run "
+                    "eager sessions", RuntimeWarning, stacklevel=2)
                 self._decoder = None
         return self._decoder
 
@@ -417,6 +558,7 @@ class StreamingEngine:
             raise ValueError(
                 f"request {request.req_id} arrives at {request.arrival_s:.6f}s "
                 f"but the loop already advanced to {self.now_s:.6f}s")
+        self._submitted += 1
         heapq.heappush(self._heap, (request.arrival_s, _ARRIVAL,
                                     next(self._tiebreak), request))
         self._wall += time.perf_counter() - start
@@ -443,6 +585,7 @@ class StreamingEngine:
         cfg = (config if config is not None
                else self.decode_options.generation_config()).validate()
         job = DecodeJob(request=request, config=cfg)
+        self._submitted += 1
         heapq.heappush(self._heap, (request.arrival_s, _ARRIVAL,
                                     next(self._tiebreak), job))
         self._wall += time.perf_counter() - start
@@ -506,11 +649,15 @@ class StreamingEngine:
     def report(self) -> ServeReport:
         """Digest of everything executed so far (deterministic order)."""
         report = ServeReport(policy=self.policy, time_sliced=self.time_sliced)
-        report.results = sorted(self._results,
-                                key=lambda r: (r.batch_id, r.request.req_id))
+        report.results = sorted(
+            (r for r in self._results if not r.canceled),
+            key=lambda r: (r.batch_id, r.request.req_id))
         report.events = [e for _, e in sorted(self._events,
                                               key=lambda t: t[0])]
         report.shard_stats = [s.stats for s in self.shards]
+        report.shed = list(self._shed)
+        report.submitted = self._submitted
+        report.completed = self._completed
         report.wall_seconds = max(0.0, self._wall - self._verify_wall)
         if self.cache is not None:
             # delta over this session only: each report describes its own
@@ -535,7 +682,9 @@ class StreamingEngine:
                 return
             heapq.heappop(self._heap)
             self.now_s = max(self.now_s, when)
-            if kind == _ARRIVAL:
+            if kind == _FAULT:
+                self._on_fault(payload, when)
+            elif kind == _ARRIVAL:
                 self._on_arrival(payload, when)
             elif kind == _WINDOW_CLOSE:
                 key, generation = payload
@@ -544,10 +693,257 @@ class StreamingEngine:
                     self._admit(group)
             else:  # _SHARD_READY
                 self._on_shard_ready(payload, when)
+        if horizon_s is None and (self._parked or self._parked_decode):
+            # drain must never hang: if the heap is exhausted with work
+            # still parked, no recovery is coming (the probe chain was
+            # abandoned by a permanent outage) — shed, don't lose
+            parked, self._parked = self._parked, []
+            for qb in parked:
+                self._shed_batch(qb, self.now_s, "no_device")
+            jobs, self._parked_decode = self._parked_decode, []
+            for job in jobs:
+                self._shed_request(job.request, self.now_s, "no_device")
+
+    # ------------------------------------------------------------------
+    # fault handling (crash / failover / probe / stall / slow)
+    # ------------------------------------------------------------------
+    def _available_shards(self) -> List[DeviceShard]:
+        return [s for s in self.shards if s.available]
+
+    def _recovery_pending(self) -> bool:
+        """Is any downed shard scheduled to come back (finite outage)?"""
+        return any(not s.available and s.down_until is not None
+                   and np.isfinite(s.down_until) for s in self.shards)
+
+    def _push_fault(self, when: float, payload: tuple) -> None:
+        heapq.heappush(self._heap,
+                       (when, _FAULT, next(self._tiebreak), payload))
+
+    def _on_fault(self, payload: tuple, now: float) -> None:
+        op = payload[0]
+        if op == "fault":
+            f: ShardFault = payload[1]
+            shard = self.shards[f.shard_id]
+            if f.kind == "crash":
+                self._crash_shard(shard, now, f.duration_s)
+            elif f.kind == "stall" and shard.available:
+                shard.stall(now + f.duration_s)
+                self._push_fault(now + f.duration_s,
+                                 ("window_end", f.shard_id))
+            elif f.kind == "slow" and shard.available:
+                shard.slow(f.factor)
+                self._push_fault(now + f.duration_s,
+                                 ("slow_end", f.shard_id))
+        elif op == "probe":
+            _, shard_id, interval = payload
+            shard = self.shards[shard_id]
+            if shard.available:
+                return  # stale probe: the shard already rejoined
+            if shard.down_until is None or not np.isfinite(shard.down_until):
+                return  # the outage became permanent: abandon the chain
+            if now >= shard.down_until:
+                self._rejoin_shard(shard, now)
+            else:
+                # exponential backoff: each missed probe doubles the wait,
+                # so a long outage costs O(log) probes and the detection
+                # lag is bounded by the last interval
+                self._push_fault(now + 2 * interval,
+                                 ("probe", shard_id, 2 * interval))
+        elif op == "slow_end":
+            self.shards[payload[1]].slow_end()
+        else:  # "window_end": a stall window closed
+            self.shards[payload[1]].restore()
+
+    def _crash_shard(self, shard: DeviceShard, now: float,
+                     duration_s: float) -> None:
+        went_down = shard.available
+        retry: Optional[QueuedBatch] = None
+        retry_jobs: List[DecodeJob] = []
+        if went_down:
+            entry = self._inflight.pop(shard.shard_id, None)
+            if entry is not None and entry[-1] > now:
+                # the last executed batch/boundary straddles the crash:
+                # members already streamed out (completion <= now) keep
+                # their results, the rest are retracted and re-execute —
+                # on the *full original membership*, so the recomputed
+                # bits are identical and only not-yet-done members emit
+                if entry[0] == "batch":
+                    _, qb, emitted, end = entry
+                    lost = [r for r in emitted if r.completion_s > now]
+                    if lost:
+                        survivors = {r.request.req_id for r in emitted
+                                     if r.completion_s <= now}
+                        done = tuple(sorted(set(qb.done_ids) | survivors))
+                        for r in lost:
+                            r.canceled = True
+                        self._completed -= len(lost)
+                        shard.rollback_inflight(
+                            now, len(lost), end,
+                            lost_batch=len(lost) == len(emitted))
+                        retry = QueuedBatch(qb.seq, qb.requests,
+                                            qb.level_name, now,
+                                            qb.est_service_s,
+                                            sparsity=qb.sparsity,
+                                            requeues=qb.requeues + 1,
+                                            done_ids=done)
+                        shard.stats.requeued_batches += 1
+                else:  # decode boundary: streams finished past the crash
+                    _, pairs, _ = entry
+                    for result, job in pairs:
+                        if result.completion_s > now:
+                            result.canceled = True
+                            self._completed -= 1
+                            shard.stats.decode_streams -= 1
+                            retry_jobs.append(job)
+        batches, jobs = shard.fail(now, now + duration_s)
+        if not went_down:
+            return  # overlapping crash: the outage was extended, that's all
+        if np.isfinite(duration_s):
+            backoff = (self.injector.probe_backoff_s
+                       if self.injector is not None else 0.005)
+            self._push_fault(now + backoff, ("probe", shard.shard_id, backoff))
+        for qb in batches:
+            qb.requeues += 1  # every failover is charged like a switch
+        for qb in ([retry] if retry is not None else []) + batches:
+            qb.ready_s = max(qb.ready_s, now)
+            self._dispatch_batch(qb)
+        for job in retry_jobs + jobs:
+            self._dispatch_decode(job)
+
+    def _rejoin_shard(self, shard: DeviceShard, now: float) -> None:
+        shard.rejoin(now)
+        parked, self._parked = self._parked, []
+        for qb in parked:
+            qb.ready_s = max(qb.ready_s, now)
+            self._dispatch_batch(qb)
+        jobs, self._parked_decode = self._parked_decode, []
+        for job in jobs:
+            self._dispatch_decode(job)
+        self._schedule_shard(shard)
+
+    def _dispatch_batch(self, qb: QueuedBatch) -> Optional[DeviceShard]:
+        """Route a batch over the *available* shards (park/shed if none)."""
+        avail = self._available_shards()
+        if not avail:
+            if self._recovery_pending():
+                self._parked.append(qb)
+            else:
+                self._shed_batch(qb, self.now_s, "no_device")
+            return None
+        shard = self.dispatcher.route(qb, avail)
+        self._schedule_shard(shard)
+        return shard
+
+    def _dispatch_decode(self, job: DecodeJob) -> None:
+        """Route a decode job to an available shard's lane (park/shed)."""
+        avail = self._available_shards()
+        if not avail:
+            if self._recovery_pending():
+                self._parked_decode.append(job)
+            else:
+                self._shed_request(job.request, self.now_s, "no_device")
+            return
+        sparsity = job.compat_key[1]
+        probe = QueuedBatch(-1, [job.request], job.request.level_name,
+                            self.now_s, job.est_service_s, sparsity=sparsity)
+        shard = self.dispatcher.place(probe, avail)
+        # the lane consumes load like an enqueued batch would, minus the
+        # queue itself: the stream holds its device one token at a time
+        shard.assigned_est_s += job.est_service_s
+        if sparsity is not None:
+            shard.expected_sparsity = sparsity
+        shard.decode.add_pending(job)
+        self._schedule_shard(shard)
+
+    def _shed_request(self, request: InferenceRequest, now: float,
+                      reason: str, est: Optional[float] = None) -> None:
+        self._shed.append(ShedRecord(request, now, reason, est))
+
+    def _shed_batch(self, qb: QueuedBatch, now: float, reason: str) -> None:
+        done = set(qb.done_ids)
+        for req in qb.requests:
+            if req.req_id not in done:
+                self._shed_request(req, now, reason)
+
+    # ------------------------------------------------------------------
+    # admission control (deadline-aware shedding / graceful degradation)
+    # ------------------------------------------------------------------
+    def _single_est_s(self, level: VFLevel, sparsity: Optional[float]) -> float:
+        return self.adapter.latency.batch_latency_s(
+            self.adapter.workload, level, 1,
+            sparsity if sparsity is not None else self.fallback_sparsity,
+            SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+
+    def _admission_estimate_s(self, now: float, service_s: float) -> float:
+        """Deterministic completion estimate for a request arriving now.
+
+        Pessimistic by design: a full batching window of wait, plus the
+        earliest instant an available device runs dry (its clock plus
+        queued backlog), plus the single-request service time at the
+        candidate operating point.  Every input is a pure function of
+        the executed event history, so the estimate — and therefore the
+        shed decision — is tick-granularity independent.
+        """
+        avail = self._available_shards()
+        if not avail:
+            return float("inf")
+        free = min(max(s.clock_s, now) + s.pending_s for s in avail)
+        return max(now + self.max_wait_s, free) + service_s
+
+    def _admission_control(self, request: InferenceRequest,
+                           now: float) -> bool:
+        """Overload defenses at arrival; ``False`` = the request was shed.
+
+        Runs *before* the request touches the admission queue, so shed
+        requests never influence micro-batch grouping and a degraded
+        request is re-stamped before its compatibility key is computed —
+        the survivors form exactly the batches a fault-free serve of the
+        surviving set would form (the bit-exactness invariant).
+        """
+        if self.max_queue is not None and self.backlog() >= self.max_queue:
+            self._shed_request(request, now, "queue_full")
+            return False
+        if self.shed_policy == "none":
+            return True
+        level = self._level(request.level_name)
+        budget = request.arrival_s + request.slo
+        resolved = self.adapter.feasible_sparsity(level, request.deadline_s)
+        est = self._admission_estimate_s(
+            now, self._single_est_s(level, resolved))
+        if resolved is not None and est <= budget:
+            return True
+        if self.shed_policy == "degrade":
+            # the paper's accuracy-for-deadline trade as an overload
+            # response: walk the sparser (faster) rungs, least degraded
+            # first, and serve at the first one whose estimate fits the
+            # SLO instead of shedding.  The deadline is re-stamped to the
+            # rung's predicted latency so the adapter resolves exactly
+            # that rung; the original deadline is kept on the request.
+            slo = request.slo
+            for sparsity, _ in self.adapter.candidates:
+                if resolved is not None and sparsity <= resolved:
+                    continue
+                lat = self.adapter.latency.latency_s(
+                    self.adapter.workload, level, sparsity,
+                    SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+                if lat > slo:
+                    continue  # keep the slo >= deadline invariant
+                rung_est = self._admission_estimate_s(
+                    now, self._single_est_s(level, sparsity))
+                if rung_est <= budget:
+                    request.degraded_from_s = request.deadline_s
+                    request.slo_s = slo
+                    request.deadline_s = lat
+                    return True
+        self._shed_request(request, now, "deadline", est)
+        return False
 
     def _on_arrival(self, request: InferenceRequest, now: float) -> None:
         if isinstance(request, DecodeJob):
             self._place_decode(request, now)
+            return
+        if ((self.shed_policy != "none" or self.max_queue is not None)
+                and not self._admission_control(request, now)):
             return
         full, window = self.admission.add(request, now)
         if window is not None:
@@ -569,16 +965,7 @@ class StreamingEngine:
             sparsity if sparsity is not None else self.fallback_sparsity,
             SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
         job.est_service_s = per_token * job.config.max_new_tokens
-        probe = QueuedBatch(-1, [req], req.level_name, now,
-                            job.est_service_s, sparsity=sparsity)
-        shard = self.dispatcher.place(probe, self.shards)
-        # the lane consumes load like an enqueued batch would, minus the
-        # queue itself: the stream holds its device one token at a time
-        shard.assigned_est_s += job.est_service_s
-        if sparsity is not None:
-            shard.expected_sparsity = sparsity
-        shard.decode.add_pending(job)
-        self._schedule_shard(shard)
+        self._dispatch_decode(job)
 
     def _admit(self, group: FlushedGroup) -> None:
         """A closed micro-batch enters the system: resolve, route, queue."""
@@ -594,14 +981,15 @@ class StreamingEngine:
             SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
         qb = QueuedBatch(seq, list(requests), level.name, group.ready_s, est,
                          sparsity=sparsity)
-        shard = self.dispatcher.route(qb, self.shards)
+        shard = self._dispatch_batch(qb)
+        if shard is None:
+            return  # total outage: parked for recovery or shed, not lost
         if (self.prewarm and shard.shard_id not in self._prewarmed
                 and shard.active_sparsity is None and sparsity is not None):
             # deploy-time provisioning: the device's first pattern set is
             # installed before traffic, so it is not charged to the timeline
             shard.active_sparsity = sparsity
         self._prewarmed.add(shard.shard_id)
-        self._schedule_shard(shard)
 
     def _schedule_shard(self, shard: DeviceShard) -> None:
         when = shard.next_event_s()
@@ -615,6 +1003,8 @@ class StreamingEngine:
         shard = self.shards[shard_id]
         if self._scheduled_ready.get(shard_id) == now:
             del self._scheduled_ready[shard_id]
+        if not shard.available:
+            return  # stale event for a downed shard; its work failed over
         while True:
             when = shard.next_event_s()
             if when is None:
@@ -690,24 +1080,44 @@ class StreamingEngine:
         self.adapter.active_sparsity = effective
         fwd = self._forward()
         outputs = run_padded(self.model, group, self.pad_id, forward=fwd)
+        done = set(qb.done_ids)
         if self.verify:
             # excluded from the timed hot path: doubles the compute
             verify_start = time.perf_counter()
             for req, out in zip(group, outputs):
+                if req.req_id in done:
+                    continue
                 solo = run_padded(self.model, [req], self.pad_id,
                                   forward=fwd)[0]
                 self._worst_err = max(self._worst_err,
                                       float(np.abs(out - solo).max()))
             self._verify_wall += time.perf_counter() - verify_start
 
+        if qb.requeues:
+            # retry accounting: failing a batch over costs the system one
+            # reconfiguration's worth of time per requeue — the new
+            # device re-stages the batch like a pattern switch
+            penalty = qb.requeues * self._switch_cost_s[effective]
+            switch_s += penalty
+            shard.stats.retried_batches += 1
+            shard.stats.retry_penalty_s += penalty
         offsets = self.adapter.latency.batch_completion_offsets_s(
             self.adapter.workload, level, len(group), effective,
             SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+        if shard.slowdown != 1.0:
+            # a slow window stretches compute, not the switch cost
+            offsets = [o * shard.slowdown for o in offsets]
         service = switch_s + offsets[-1]
         begin = max(shard.clock_s, qb.ready_s)
         completion = begin + service
-        shard.record(qb, service, completion, installed)
+        shard.record(qb, service, completion, installed,
+                     members=(len(group) - len(done)) if done else None)
+        emitted: List[RequestResult] = []
         for i, (req, out) in enumerate(zip(group, outputs)):
+            if req.req_id in done:
+                # completed before the crash that requeued this batch;
+                # the original (bit-identical) result already stands
+                continue
             member_service = (switch_s + offsets[i]
                               if self.time_sliced else service)
             result = RequestResult(
@@ -723,6 +1133,9 @@ class StreamingEngine:
                 self._results.append(result)
             heapq.heappush(self._pending_done,
                            (result.completion_s, next(self._tiebreak), result))
+            emitted.append(result)
+            self._completed += 1
+        self._inflight[shard.shard_id] = ("batch", qb, emitted, completion)
         self._events.append((qb.seq, event))
 
     # ------------------------------------------------------------------
@@ -747,6 +1160,7 @@ class StreamingEngine:
         tokens = 0
         finished = 0
         switches = 0
+        pairs: List[tuple] = []
         for key in lane.group_keys():
             group = lane.groups[key]
             session = group.session
@@ -775,6 +1189,8 @@ class StreamingEngine:
             per_token = self.adapter.latency.batch_latency_s(
                 self.adapter.workload, level, len(active), effective,
                 SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
+            if shard.slowdown != 1.0:
+                per_token *= shard.slowdown
             service = switch_s + per_token
             clock += service
             tokens += len(emitted)
@@ -799,13 +1215,20 @@ class StreamingEngine:
                 heapq.heappush(
                     self._pending_done,
                     (result.completion_s, next(self._tiebreak), result))
+                pairs.append((result, stream.job))
+                self._completed += 1
         lane.prune()
         if clock > begin or tokens:
+            self._inflight[shard.shard_id] = ("decode", pairs, clock)
             shard.record_decode(clock - begin, clock, tokens, finished,
                                 switches)
 
     def _release(self, until_s: float) -> List[RequestResult]:
         out = []
         while self._pending_done and self._pending_done[0][0] <= until_s:
-            out.append(heapq.heappop(self._pending_done)[2])
+            result = heapq.heappop(self._pending_done)[2]
+            if not result.canceled:
+                # a canceled result was retracted by a crash before its
+                # completion instant; its request re-executes elsewhere
+                out.append(result)
         return out

@@ -495,6 +495,102 @@ class TestCompareGenerate:
         assert all(verdicts(findings).values())
 
 
+def _fault_policy(shed=24, completed=72, conserved=True, exact=True,
+                  degraded=0, requeued=1, retried=1, lag=0.9):
+    return {
+        "submitted": 96, "completed": completed, "shed": shed,
+        "shed_rate": shed / 96.0, "shed_reasons": {"deadline": shed},
+        "conserved": float(conserved), "exact": float(exact),
+        "degraded": degraded, "failures": 1, "recoveries": 1,
+        "requeued_batches": requeued, "retried_batches": retried,
+        "retry_penalty_ms": 5.18, "recovery_lag_s": lag,
+        "p95_latency_ms": 13.9, "sim_makespan_s": 5.6,
+    }
+
+
+def faults_digest(reject_shed=24, degrade_shed=0, conserved=True, exact=True,
+                  lag=0.9, lag_budget=1.24, reject_ceiling=0.35,
+                  degrade_ceiling=0.05):
+    return {
+        "scenario": "bursty", "requests": 96, "devices": 4, "seed": 0,
+        "fault": {"shard": 1, "at_s": 0.5, "down_s": 1.65,
+                  "down_fraction": 0.3, "span_s": 5.5},
+        "policies": {
+            "reject": _fault_policy(shed=reject_shed,
+                                    completed=96 - reject_shed,
+                                    conserved=conserved, exact=exact,
+                                    lag=lag),
+            "degrade": _fault_policy(shed=degrade_shed,
+                                     completed=96 - degrade_shed,
+                                     conserved=conserved, exact=exact,
+                                     degraded=24, lag=lag),
+        },
+        "separation": {"reject_shed": reject_shed,
+                       "degrade_shed": degrade_shed,
+                       "strict": float(degrade_shed < reject_shed)},
+        "acceptance": {"reject_shed_rate_ceiling": reject_ceiling,
+                       "degrade_shed_rate_ceiling": degrade_ceiling,
+                       "recovery_lag_budget_s": lag_budget},
+        "wall_s": 0.1,
+    }
+
+
+class TestCompareFaults:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_faults(faults_digest(), faults_digest())
+        assert all(verdicts(findings).values())
+
+    def test_conservation_breach_fails(self):
+        findings = gate.compare_faults(faults_digest(),
+                                       faults_digest(conserved=False))
+        v = verdicts(findings)
+        assert v["policies.reject.conserved"] is False
+        assert v["policies.degrade.conserved"] is False
+
+    def test_exactness_breach_fails(self):
+        findings = gate.compare_faults(faults_digest(),
+                                       faults_digest(exact=False))
+        assert verdicts(findings)["policies.reject.exact"] is False
+
+    def test_shed_count_drift_fails(self):
+        # deterministic simulation: even one extra shed request fails
+        findings = gate.compare_faults(faults_digest(),
+                                       faults_digest(reject_shed=25))
+        assert verdicts(findings)["policies.reject.shed"] is False
+
+    def test_lost_strict_separation_fails(self):
+        findings = gate.compare_faults(
+            faults_digest(), faults_digest(reject_shed=24, degrade_shed=24))
+        assert verdicts(findings)["separation.strict"] is False
+
+    def test_missing_policy_fails(self):
+        fresh = faults_digest()
+        del fresh["policies"]["degrade"]
+        findings = gate.compare_faults(faults_digest(), fresh)
+        assert verdicts(findings)["policies.degrade"] is False
+
+    def test_recovery_lag_over_budget_fails(self):
+        findings = gate.compare_faults(faults_digest(),
+                                       faults_digest(lag=1.5))
+        assert verdicts(findings)["policies.reject.recovery_lag_s"] is False
+
+    def test_baseline_budgets_are_authoritative(self):
+        # a fresh run cannot widen the gate by shipping looser budgets
+        fresh = faults_digest(lag=1.5, lag_budget=2.0)
+        findings = gate.compare_faults(faults_digest(), fresh)
+        assert verdicts(findings)["policies.reject.recovery_lag_s"] is False
+
+    def test_penalty_and_latency_never_gated(self):
+        fresh = faults_digest()
+        fresh["policies"]["reject"]["retry_penalty_ms"] = 99.0
+        fresh["policies"]["reject"]["p95_latency_ms"] = 99.0
+        findings = gate.compare_faults(faults_digest(), fresh)
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "policies.reject.retry_penalty_ms" in info
+        assert "policies.reject.p95_latency_ms" in info
+        assert all(verdicts(findings).values())
+
+
 def fig3_digest(best_aw=0.62, best_reward=0.55, front=None, feasible=6,
                 l3=0.3):
     front = front if front is not None else [[0.58, 1.2e6], [0.62, 9.5e5]]

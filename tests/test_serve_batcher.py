@@ -64,6 +64,26 @@ class TestInferenceRequest:
         assert req.slo == 0.5
         assert InferenceRequest(0, np.array([1]), deadline_s=0.5, slo_s=2.0).slo == 2.0
 
+    @pytest.mark.parametrize("deadline", [-1.0, 0.0, float("nan")])
+    def test_non_positive_or_nan_deadline_rejected(self, deadline):
+        with pytest.raises(ValueError, match="deadline"):
+            InferenceRequest(0, np.array([1, 2]), deadline_s=deadline)
+
+    @pytest.mark.parametrize("slo", [-1.0, 0.0, float("nan")])
+    def test_non_positive_or_nan_slo_rejected(self, slo):
+        with pytest.raises(ValueError, match="slo"):
+            InferenceRequest(0, np.array([1, 2]), deadline_s=0.5, slo_s=slo)
+
+    def test_slo_below_deadline_rejected(self):
+        # the end-to-end budget also covers the compute deadline; an SLO
+        # tighter than the compute deadline is a contradiction
+        with pytest.raises(ValueError, match="slo_s"):
+            InferenceRequest(0, np.array([1, 2]), deadline_s=0.5, slo_s=0.4)
+
+    def test_infinite_budgets_allowed(self):
+        req = InferenceRequest(0, np.array([1, 2]), deadline_s=float("inf"))
+        assert req.slo == float("inf")
+
 
 class TestPadBatch:
     def test_uniform_lengths_skip_mask(self, rng):

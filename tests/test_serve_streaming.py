@@ -606,3 +606,62 @@ class TestAdaptiveHysteresis:
         with pytest.raises(ValueError, match="adaptive_low_threshold"):
             build_engine(model, drain_policy="adaptive",
                          adaptive_low_threshold=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# compile-fallback diagnostics: a supported model that fails to compile
+# must *warn* on its way to the eager path, never fall back silently
+# ---------------------------------------------------------------------------
+
+class TestCompileFallbackWarnings:
+    def test_forward_compile_failure_warns(self):
+        # dropout left active (training mode) is a misconfiguration of a
+        # *supported* architecture: compile_inference raises ValueError,
+        # and the engine must name it while falling back to eager
+        cfg = TransformerConfig(vocab_size=60, dim=32, num_heads=2,
+                                ffn_dim=64, num_encoder_layers=2,
+                                num_decoder_layers=1, max_len=16,
+                                dropout=0.1, seed=3)
+        model = TransformerLM(cfg).train()
+        engine, _ = build_engine(model)
+        with pytest.warns(RuntimeWarning, match="compile_inference failed"):
+            report = engine.serve([req(0)])
+        assert report.num_requests == 1
+        assert engine.fast_forward  # the offline wrapper keeps its knob
+
+    def test_decode_compile_failure_warns(self, monkeypatch):
+        import repro.serve.streaming as streaming_mod
+
+        def boom(model, plan=None):
+            raise ValueError("decode plane unavailable")
+
+        monkeypatch.setattr(streaming_mod, "compile_decode", boom)
+        model = TransformerLM(LM_CFG).eval()
+        engine, _ = build_engine(model)
+        core = engine.streaming()
+        with pytest.warns(RuntimeWarning, match="compile_decode failed"):
+            core.submit_decode(req(0))
+            core.drain()
+        assert core.report().num_requests == 1
+
+    def test_unsupported_model_falls_back_silently(self, recwarn):
+        # unknown architectures are the *designed* fallback: no warning
+        class Opaque:
+            def modules(self):
+                return []
+
+            def named_modules(self):
+                return []
+
+            def named_parameters(self):
+                return []
+
+        model = TransformerLM(LM_CFG).eval()
+        engine, _ = build_engine(model)
+        core = engine.streaming()
+        core.model = Opaque()
+        assert core._forward() is None
+        assert not core.fast_forward
+        runtime = [w for w in recwarn
+                   if issubclass(w.category, RuntimeWarning)]
+        assert not runtime
