@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """CI multi-bench regression gate over every committed paper artifact.
 
-Fourteen benches are registered, covering the full paper surface (Tables
+Fifteen benches are registered, covering the full paper surface (Tables
 I-IV, Figures 3-5, the design ablations) plus the serving/kernel/forward
-/decode/fault-tolerance performance benches.  For every registered bench the gate loads the
+/decode/fault-tolerance/preemptive-scheduling performance benches.  For
+every registered bench the gate loads the
 committed ``benchmarks/results/BENCH_<name>.json`` baseline *before*
 anything can overwrite it, re-runs the bench at the baseline's own
 recorded configuration (seeds, episode counts, task lists), and fails
@@ -39,6 +40,15 @@ when the fresh run regresses.  Per-bench rules:
              baseline exactly, ``degrade`` must shed strictly fewer
              requests than ``reject``, and shed rates / recovery lag
              must stay inside the committed acceptance budgets.
+``preempt``  the preemptive-scheduling serve is a deterministic
+             simulation: extended conservation (completed + shed +
+             cancelled == submitted) and bit-exactness against the
+             clean serve of each arm's surviving set must hold, every
+             counter (preemptions, cancels, per-tenant misses) must
+             match the baseline exactly, the preemptive arm must
+             strictly cut victim-tenant SLO misses vs fifo, and the
+             fifo floor / preempt ceiling / hot shed-rate budgets must
+             hold.
 ``table``    the Table-I V/F row set must match exactly (it is paper
              configuration); modelled power gets a 1% band.
 ``table2``   the Table-II reconfiguration row set and E1/E2/E3 run
@@ -525,6 +535,108 @@ def compare_faults(baseline: dict, fresh: dict) -> List[dict]:
 
 
 # ---------------------------------------------------------------------------
+# preempt (preemptive scheduling / tenant fairness) bench comparison (pure)
+# ---------------------------------------------------------------------------
+
+# deterministic per-arm counters gated by exact equality
+PREEMPT_COUNTERS = ("submitted", "completed", "shed", "cancelled",
+                    "preemptions", "requeued_batches", "retried_batches",
+                    "victim_slo_misses", "hot_slo_misses")
+
+
+def compare_preempt(baseline: dict, fresh: dict) -> List[dict]:
+    """Diff two preemptive-scheduling digests; one finding per metric.
+
+    Coverage is anchored on the baseline: an arm present in the
+    committed digest but absent from the fresh run fails.  The serve is
+    a deterministic simulation, so every counter gates by exact
+    equality; the invariants (extended conservation
+    ``completed + shed + cancelled == submitted``, bit-exactness vs the
+    clean serve of each arm's surviving set, strict victim-miss
+    separation, no starved tenants under fairness) and the committed
+    acceptance budgets gate unconditionally — the baseline's budgets
+    are authoritative, so a PR cannot widen the gate by editing the
+    bench constants.
+    """
+    findings: List[dict] = []
+    acc = baseline.get("acceptance", fresh.get("acceptance", {}))
+    fresh_policies = fresh.get("policies", {})
+    for name, base_arm in baseline.get("policies", {}).items():
+        pre = f"policies.{name}"
+        arm = fresh_policies.get(name)
+        if arm is None:
+            findings.append({
+                "metric": pre, "baseline": None, "fresh": None,
+                "gated": True, "ok": False,
+                "note": "gated scheduler arm missing from fresh run"})
+            continue
+        for flag, note in (
+                ("conserved", "no request may be lost: completed + shed "
+                              "+ cancelled must equal submitted"),
+                ("exact", "completed outputs must be bit-identical to the "
+                          "clean serve of the surviving set")):
+            findings.append({
+                "metric": f"{pre}.{flag}", "baseline": 1.0,
+                "fresh": float(bool(arm.get(flag))), "gated": True,
+                "ok": bool(arm.get(flag)), "note": note})
+        for fld in PREEMPT_COUNTERS:
+            findings.append(find_exact(
+                f"{pre}.{fld}", base_arm.get(fld), arm.get(fld),
+                "deterministic scheduler simulation: must match baseline "
+                "exactly"))
+        findings.append({
+            "metric": f"{pre}.starved_tenants",
+            "baseline": float(len(base_arm.get("starved_tenants", []))),
+            "fresh": float(len(arm.get("starved_tenants", []))),
+            "gated": True, "ok": not arm.get("starved_tenants"),
+            "note": "every tenant with traffic must complete something"})
+        ceiling = acc.get("hot_shed_rate_ceiling")
+        if ceiling is not None:
+            findings.append(find_within(
+                f"{pre}.hot_shed_rate", ceiling,
+                arm.get("hot_shed_rate"), budget=0.0, kind="ceiling",
+                note=f"hot-tenant shed rate must stay <= the committed "
+                     f"{ceiling:.2f} budget"))
+        findings.append(find_info(f"{pre}.retry_penalty_ms",
+                                  base_arm.get("retry_penalty_ms"),
+                                  arm.get("retry_penalty_ms"),
+                                  note="informational (simulated preemption "
+                                       "switch charge; counters gate it)"))
+        findings.append(find_info(f"{pre}.victim_p95_latency_ms",
+                                  base_arm.get("victim_p95_latency_ms"),
+                                  arm.get("victim_p95_latency_ms"),
+                                  note="informational (simulated; the miss "
+                                       "counters gate the behaviour)"))
+    fifo_miss = _lookup(fresh, "policies.fifo.victim_slo_misses")
+    pre_miss = _lookup(fresh, "policies.preempt.victim_slo_misses")
+    strict = (fifo_miss is not None and pre_miss is not None
+              and pre_miss < fifo_miss)
+    findings.append({
+        "metric": "separation.strict",
+        "baseline": 1.0, "fresh": float(strict), "gated": True,
+        "ok": strict,
+        "note": "preemption + fairness must strictly cut victim-tenant "
+                "SLO misses vs the fifo scheduler"})
+    floor = acc.get("fifo_victim_miss_floor")
+    if floor is not None:
+        findings.append(find_within(
+            "policies.fifo.victim_miss_floor", floor, fifo_miss,
+            budget=0.0, kind="floor",
+            note="the fifo arm must actually hurt the victim (the "
+                 "head-of-line scenario stays adversarial)"))
+    ceiling = acc.get("preempt_victim_miss_ceiling")
+    if ceiling is not None:
+        findings.append(find_within(
+            "policies.preempt.victim_miss_ceiling", ceiling, pre_miss,
+            budget=0.0, kind="ceiling",
+            note="the preemptive arm must keep victim misses at or "
+                 "under the committed ceiling"))
+    findings.append(find_info("wall_s", _lookup(baseline, "wall_s"),
+                              _lookup(fresh, "wall_s")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # kernels bench comparison (pure)
 # ---------------------------------------------------------------------------
 
@@ -953,6 +1065,15 @@ def run_fresh_faults(baseline: dict) -> dict:
                      seed=int(baseline.get("seed", 0)))
 
 
+def run_fresh_preempt(baseline: dict) -> dict:
+    """Re-run the preemptive-scheduling bench at the committed config."""
+    _import_benchmarks()
+    from benchmarks.bench_preempt import run_bench
+
+    return run_bench(num_requests=int(baseline.get("requests", 102)),
+                     seed=int(baseline.get("seed", 0)))
+
+
 def run_fresh_fig3(baseline: dict) -> dict:
     """Replay the Figure 3 Pareto exploration at the committed seed."""
     _import_benchmarks()
@@ -1053,6 +1174,9 @@ BENCHES: Dict[str, BenchSpec] = {
     "faults": BenchSpec("faults", RESULTS / "BENCH_faults.json",
                         RESULTS / "BENCH_faults.fresh.json",
                         run_fresh_faults, compare_faults),
+    "preempt": BenchSpec("preempt", RESULTS / "BENCH_preempt.json",
+                         RESULTS / "BENCH_preempt.fresh.json",
+                         run_fresh_preempt, compare_preempt),
     "fig3": BenchSpec("fig3", RESULTS / "BENCH_fig3.json",
                       RESULTS / "BENCH_fig3.fresh.json",
                       run_fresh_fig3, compare_fig3),

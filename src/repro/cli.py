@@ -195,18 +195,74 @@ def cmd_ablation(args) -> int:
     return 0
 
 
+def _validate_serve_args(args):
+    """Pre-flight checks for the serve knobs; ``SystemExit`` on bad input.
+
+    Mirrors ``InferenceRequest.__post_init__``: every numeric knob must
+    be finite (an explicit NaN check — NaN compares false against every
+    bound) and positive, so a typo dies with a one-line message instead
+    of surfacing as a deep engine ValueError.  Returns the parsed
+    ``tenant_weights`` mapping (or ``None`` when single-tenant).
+    """
+    import math
+
+    if args.max_queue is not None and args.max_queue < 1:
+        raise SystemExit(
+            f"--max-queue must be at least 1, got {args.max_queue}")
+    if math.isnan(args.probe_backoff_ms) or not math.isfinite(
+            args.probe_backoff_ms) or args.probe_backoff_ms <= 0:
+        raise SystemExit(
+            f"--probe-backoff-ms must be finite and positive, "
+            f"got {args.probe_backoff_ms}")
+    if args.cancel_after is not None and (
+            math.isnan(args.cancel_after)
+            or not math.isfinite(args.cancel_after)
+            or args.cancel_after <= 0):
+        raise SystemExit(
+            f"--cancel-after must be finite and positive (milliseconds), "
+            f"got {args.cancel_after}")
+    if args.tenants < 1:
+        raise SystemExit(f"--tenants must be at least 1, got {args.tenants}")
+    weights = {}
+    for spec in args.tenant_weight or []:
+        name, sep, txt = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"bad --tenant-weight spec {spec!r} (expected name=weight)")
+        try:
+            weight = float(txt)
+        except ValueError:
+            raise SystemExit(
+                f"bad --tenant-weight spec {spec!r}: {txt!r} is not a "
+                "number") from None
+        if math.isnan(weight) or not math.isfinite(weight) or weight <= 0:
+            raise SystemExit(
+                f"--tenant-weight for {name!r} must be finite and positive, "
+                f"got {txt}")
+        weights[name] = weight
+    if args.tenants > 1 or weights:
+        # every stamped tenant participates (weight 1 unless overridden),
+        # so --tenants 2 alone already means equal fair shares
+        tenant_weights = {f"t{i}": 1.0 for i in range(args.tenants)}
+        tenant_weights.update(weights)
+        return tenant_weights
+    return None
+
+
 def cmd_serve(args) -> int:
     from repro.serve import (
         DecodeOptions,
         FaultPlan,
         ScenarioConfig,
         StackConfig,
+        assign_tenants,
         build_scenario,
         build_serving_stack,
         flaky_fault_overlay,
         stream_scenario,
     )
 
+    tenant_weights = _validate_serve_args(args)
     decode_opts = DecodeOptions(
         max_new_tokens=args.decode_max_new_tokens, top_k=args.decode_top_k,
         temperature=args.decode_temperature, seed=args.decode_seed,
@@ -227,15 +283,24 @@ def cmd_serve(args) -> int:
         adaptive_low_threshold=args.adaptive_low_threshold,
         decode=decode_opts,
         shed_policy=args.shed_policy, max_queue=args.max_queue,
-        probe_backoff_s=args.probe_backoff_ms / 1e3))
+        probe_backoff_s=args.probe_backoff_ms / 1e3,
+        preempt_policy=args.preempt_policy,
+        cancel_after_s=(args.cancel_after / 1e3
+                        if args.cancel_after is not None else None),
+        tenant_weights=tenant_weights,
+        admission_estimate=args.admission_estimate))
     max_wait_s = (args.max_wait_ms / 1e3
                   if args.max_wait_ms is not None else None)
     scenario_cfg = ScenarioConfig(
         num_requests=args.requests, vocab_size=args.vocab_size,
         seq_len=args.seq_len, max_len=args.max_len, seed=args.seed)
     trace = None
-    if args.faults or args.decode_streams > 0 or not args.streaming:
+    if (args.faults or args.decode_streams > 0 or not args.streaming
+            or args.tenants > 1):
         trace = build_scenario(args.scenario, workload, scenario_cfg)
+    if args.tenants > 1:
+        # deterministic round-robin overlay: request i -> tenant t{i % N}
+        assign_tenants(trace, args.tenants)
     if args.faults:
         if args.faults == "flaky":
             horizon = max((r.arrival_s for r in trace), default=0.0) or 1.0
@@ -471,6 +536,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--probe-backoff-ms", type=float, default=5.0,
                          help="first re-probe interval for a downed shard "
                               "(doubles per missed probe)")
+    p_serve.add_argument("--preempt-policy", default="off",
+                         choices=["off", "queued", "running"],
+                         help="deadline-driven preemption: queued lets a "
+                              "tight-deadline admission pull a looser-"
+                              "deadline batch back off its shard's queue; "
+                              "running additionally retracts the in-flight "
+                              "batch (charged like a pattern switch; "
+                              "completed outputs stay bit-identical)")
+    p_serve.add_argument("--cancel-after", type=float, default=None,
+                         metavar="MS",
+                         help="client timeout: cancel any request still "
+                              "unfinished this many ms after its arrival "
+                              "(a new terminal state; conservation becomes "
+                              "completed + shed + cancelled == submitted)")
+    p_serve.add_argument("--tenants", type=int, default=1,
+                         help="stamp the trace with N round-robin tenant "
+                              "ids (t0..tN-1) and enable weighted fair "
+                              "admission shares of --max-queue")
+    p_serve.add_argument("--tenant-weight", action="append", default=None,
+                         metavar="NAME=W",
+                         help="override one tenant's fair-share weight "
+                              "(repeatable; unlisted tenants weigh 1)")
+    p_serve.add_argument("--admission-estimate", default="remaining",
+                         choices=["remaining", "full"],
+                         help="batching-window charge in the shed-policy "
+                              "completion estimate: remaining charges only "
+                              "the open group's residual window; full keeps "
+                              "the historical whole-window pessimism")
     p_serve.add_argument("--streaming", action="store_true",
                          help="feed the scenario arrival-by-arrival through "
                               "the online submit/tick/drain event loop "

@@ -73,7 +73,11 @@ Layout
   and in-flight work fails over to healthy shards (charged like a
   pattern switch), downed shards re-probe with exponential backoff, and
   every completed output stays bit-identical to a fault-free serve of
-  the surviving requests;
+  the surviving requests.  The same vocabulary covers the scheduler
+  defenses: ``PREEMPT_POLICIES`` (``off``/``queued``/``running``
+  deadline-driven preemption of placed work) and :class:`CancelRecord`
+  (explicit request withdrawal as a terminal state, extending
+  conservation to ``completed + shed + cancelled == submitted``);
 - :mod:`~repro.serve.cache`     — the byte-budgeted LRU
   :class:`ArtifactCache`: artifacts are charged their honest device
   footprint (masks bit-packed, one bit per position) and evicted
@@ -96,6 +100,12 @@ degrades infeasible requests to sparser patterns before shedding
 ``--shed-policy reject`` sheds on predicted SLO misses; ``--max-queue``
 bounds the admission backlog; ``--probe-backoff-ms`` tunes downed-shard
 re-probing).
+``rt3 serve --scenario bursty --preempt-policy running --tenants 2
+--tenant-weight t0=3 --max-queue 32 --cancel-after 50`` adds the
+scheduler defenses: deadline-driven preemption of queued (or in-flight)
+batches, a client cancellation timeout, and weighted fair per-tenant
+admission shares (``--admission-estimate full`` restores the historical
+whole-window shed estimate).
 ``benchmarks/bench_serve.py`` measures the batched-vs-single speedup
 and the multi-device scaling (``BENCH_serve.json``);
 ``benchmarks/bench_stream.py`` sweeps the admission window on bursty
@@ -135,7 +145,9 @@ from repro.serve.faults import (
     DOWN,
     FAULT_KINDS,
     HEALTHY,
+    PREEMPT_POLICIES,
     SHED_POLICIES,
+    CancelRecord,
     FaultInjector,
     FaultPlan,
     ShardFault,
@@ -154,6 +166,7 @@ from repro.serve.stack import StackConfig, build_serving_stack
 from repro.serve.scenarios import (
     SCENARIOS,
     ScenarioConfig,
+    assign_tenants,
     bandwidth_fluctuation,
     battery_drain_longtail,
     build_scenario,
@@ -170,6 +183,7 @@ __all__ = [
     "DEGRADED",
     "DOWN",
     "DRAIN_POLICIES",
+    "CancelRecord",
     "DecodeJob",
     "DecodeLane",
     "DecodeOptions",
@@ -185,6 +199,7 @@ __all__ = [
     "LRUCache",
     "MicroBatcher",
     "POLICIES",
+    "PREEMPT_POLICIES",
     "QueuedBatch",
     "RequestResult",
     "SCENARIOS",
@@ -197,6 +212,7 @@ __all__ = [
     "ShedRecord",
     "StackConfig",
     "StreamingEngine",
+    "assign_tenants",
     "bandwidth_fluctuation",
     "battery_drain_longtail",
     "build_scenario",

@@ -51,6 +51,12 @@ class InferenceRequest:
 
     ``level_name`` records the V/F operating point in force when the
     request arrived (set by the scenario generator).
+
+    ``tenant`` names the client the request belongs to; the engine's
+    per-tenant isolation (weighted fair admission shares, per-tenant
+    shed/degrade accounting) keys off it.  The default single-tenant
+    value keeps every historical trace byte-identical: tenancy never
+    enters the compatibility key, so grouping is unaffected.
     """
 
     req_id: int
@@ -63,11 +69,14 @@ class InferenceRequest:
     # request to a sparser rung's latency (None = never degraded); set
     # by the engine's "degrade" shed policy, recorded for reporting
     degraded_from_s: Optional[float] = None
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         self.tokens = np.asarray(self.tokens)
         if self.tokens.ndim != 1 or self.tokens.size == 0:
             raise ValueError("request tokens must be a non-empty 1-D sequence")
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
         # NaN fails every comparison, so it must be ruled out explicitly
         # (a bare `<= 0` check silently admits it); inf is legal — "no
         # deadline" — but a budget can never be negative, zero, or NaN
@@ -270,6 +279,10 @@ class AdmissionQueue:
         """Number of requests currently waiting in open groups."""
         return sum(len(g.requests) for g in self._open.values())
 
+    def waiting(self) -> List[InferenceRequest]:
+        """Requests currently held in open groups, in admission order."""
+        return [r for g in self._open.values() for r in g.requests]
+
     @property
     def open_groups(self) -> int:
         return len(self._open)
@@ -279,6 +292,37 @@ class AdmissionQueue:
         if not self._open:
             return None
         return min(g.deadline_s for g in self._open.values())
+
+    def open_group(self, key: Hashable) -> Optional[_OpenGroup]:
+        """The open group a ``key``-compatible request would join now.
+
+        Introspection for the engine's admission estimate: the group's
+        ``deadline_s`` is the *remaining* batching window such a request
+        would actually wait out (instead of a pessimistic full
+        ``max_wait_s``), and its size says whether the next admission
+        would flush the group full (no wait at all).
+        """
+        return self._open.get(key)
+
+    def remove(self, req_id: int) -> Optional[InferenceRequest]:
+        """Retract one waiting request from its open group (cancellation).
+
+        Returns the removed request, or ``None`` if no open group holds
+        ``req_id``.  A group emptied by the removal is dropped outright —
+        its scheduled window-close event goes stale and
+        :meth:`close_generation` ignores it, exactly like a group that
+        flushed full.  The group's window deadline is *not* re-stamped
+        for the survivors: they keep batching on the window opened by
+        the first admission, cancelled or not.
+        """
+        for key, group in self._open.items():
+            for i, req in enumerate(group.requests):
+                if req.req_id == req_id:
+                    group.requests.pop(i)
+                    if not group.requests:
+                        del self._open[key]
+                    return req
+        return None
 
     def _close(self, key: Hashable, full: bool) -> FlushedGroup:
         group = self._open.pop(key)

@@ -133,6 +133,20 @@ class DecodeLane:
             joined += 1
         return joined
 
+    def remove_pending(self, req_id: int) -> Optional[DecodeJob]:
+        """Retract one not-yet-admitted job (cancellation).
+
+        Only pending jobs are retractable: a stream already admitted to
+        a lane group holds live session state and runs to completion.
+        Returns the job, or ``None`` when no pending entry matches.
+        """
+        for entry in self.pending:
+            if entry[2].request.req_id == req_id:
+                self.pending.remove(entry)
+                heapq.heapify(self.pending)
+                return entry[2]
+        return None
+
     def group_keys(self) -> List[Hashable]:
         """Deterministic group order (None sparsity sorts first)."""
         return sorted(self.groups,

@@ -107,7 +107,11 @@ class ServeEngine:
                  faults: Optional[FaultPlan] = None,
                  shed_policy: str = "none",
                  max_queue: Optional[int] = None,
-                 probe_backoff_s: float = 0.005) -> None:
+                 probe_backoff_s: float = 0.005,
+                 preempt_policy: str = "off",
+                 cancel_after_s: Optional[float] = None,
+                 tenant_weights: Optional[Dict[str, float]] = None,
+                 admission_estimate: str = "remaining") -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if shed_policy not in SHED_POLICIES:
@@ -175,6 +179,13 @@ class ServeEngine:
         self.shed_policy = shed_policy
         self.max_queue = max_queue
         self.probe_backoff_s = probe_backoff_s
+        # preemptive deadline scheduling / cancellation / tenant fairness:
+        # validated by the streaming session ctor (one copy of the rules)
+        self.preempt_policy = preempt_policy
+        self.cancel_after_s = cancel_after_s
+        self.tenant_weights = (dict(tenant_weights)
+                               if tenant_weights is not None else None)
+        self.admission_estimate = admission_estimate
         # installed pattern set per device, surviving across serve() calls
         self._device_state: Dict[int, Optional[float]] = {}
         # kept for offline trace grouping / introspection; the streaming
@@ -219,6 +230,10 @@ class ServeEngine:
             faults=self.faults, shed_policy=self.shed_policy,
             max_queue=self.max_queue,
             probe_backoff_s=self.probe_backoff_s,
+            preempt_policy=self.preempt_policy,
+            cancel_after_s=self.cancel_after_s,
+            tenant_weights=self.tenant_weights,
+            admission_estimate=self.admission_estimate,
             initial_device_state=dict(self._device_state))
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeReport:

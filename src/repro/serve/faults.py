@@ -38,12 +38,14 @@ from typing import List, Optional
 from repro.serve.batcher import InferenceRequest
 
 __all__ = [
+    "CancelRecord",
     "DEGRADED",
     "DOWN",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "HEALTHY",
+    "PREEMPT_POLICIES",
     "SHED_POLICIES",
     "ShardFault",
     "ShedRecord",
@@ -61,6 +63,15 @@ FAULT_KINDS = ("crash", "stall", "slow")
 # (lower-latency) pattern rungs — the paper's accuracy-for-deadline
 # trade as an overload response — and sheds only when no rung fits
 SHED_POLICIES = ("none", "reject", "degrade")
+
+# deadline-driven preemption: "off" never disturbs placed work (the
+# historical behaviour), "queued" lets a tight-deadline admission pull a
+# looser-deadline batch back out of its shard's queue and re-route it
+# (charged one pattern-switch-equivalent, like a crash failover),
+# "running" additionally retracts the shard's in-flight batch through
+# the same machinery crash recovery uses — the full original membership
+# re-executes, so completed outputs stay bit-identical
+PREEMPT_POLICIES = ("off", "queued", "running")
 
 
 @dataclass
@@ -199,11 +210,36 @@ class ShedRecord:
     """One request the engine refused instead of silently losing.
 
     ``reason`` is one of ``deadline`` (estimated completion already past
-    the SLO at admission), ``queue_full`` (bounded admission queue), or
-    ``no_device`` (no shard up and none coming back).
+    the SLO at admission), ``queue_full`` (bounded admission queue),
+    ``tenant_quota`` (the request's tenant exhausted its weighted share
+    of the bounded queue), or ``no_device`` (no shard up and none coming
+    back).
     """
 
     request: InferenceRequest
     time_s: float
     reason: str
     est_completion_s: Optional[float] = None
+
+
+@dataclass
+class CancelRecord:
+    """One request retracted by an explicit cancellation.
+
+    Cancellation is a *terminal* state distinct from shedding (the
+    client withdrew the request; the engine did not refuse it) and from
+    the internal crash-retraction flag on results (which implies a
+    re-execution).  ``where`` says how far the request had travelled
+    when the cancel caught it: ``pre_admission`` (cancel landed before
+    the arrival event), ``admission`` (waiting in an open micro-batch
+    group), ``queued`` (member of a batch queued on a device),
+    ``parked`` (held through a total outage), ``decode_pending``
+    (decode stream not yet admitted to a lane), or ``inflight`` (result
+    retracted before its completion instant; the device time already
+    spent is not refunded).  Conservation extends to
+    ``completed + shed + cancelled == submitted``.
+    """
+
+    request: InferenceRequest
+    time_s: float
+    where: str

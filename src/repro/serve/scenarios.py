@@ -295,3 +295,22 @@ def build_scenario(name: str, workload: WorkloadProfile,
     """Materialize a named traffic trace (offline view of the stream)."""
     return list(stream_scenario(name, workload, cfg=cfg, latency=latency,
                                 **kwargs))
+
+
+def assign_tenants(requests: Sequence[InferenceRequest], tenants: int,
+                   prefix: str = "t") -> List[InferenceRequest]:
+    """Stamp a trace with round-robin tenant ids (``t0``, ``t1``, ...).
+
+    The deterministic multi-tenant overlay the CLI's ``--tenants`` flag
+    applies: request ``req_id % tenants`` belongs to tenant
+    ``f"{prefix}{req_id % tenants}"``, so the assignment is a pure
+    function of the trace (no RNG to keep in sync) and identical for
+    any tick schedule.  Requests are restamped in place and the list is
+    returned for chaining.
+    """
+    if tenants < 1:
+        raise ValueError("tenants must be at least 1")
+    out = list(requests)
+    for req in out:
+        req.tenant = f"{prefix}{req.req_id % tenants}"
+    return out

@@ -118,6 +118,11 @@ class ShardStats:
     stalls: int = 0
     recovery_lag_s: float = 0.0
     health: str = HEALTHY
+    # deadline-driven preemption: batches pulled back off this shard
+    # (queued or in-flight) to let a tighter-deadline batch run first;
+    # each preemption is charged like a pattern switch at re-execution,
+    # through the same requeue accounting as crash failover
+    preempted_batches: int = 0
 
     @property
     def service_throughput_rps(self) -> float:
@@ -147,6 +152,7 @@ class ShardStats:
             "stalls": self.stalls,
             "recovery_lag_s": self.recovery_lag_s,
             "health": self.health,
+            "preempted_batches": self.preempted_batches,
             "service_throughput_rps": self.service_throughput_rps,
             "utilization": self.utilization(makespan_s),
         }
@@ -269,6 +275,31 @@ class DeviceShard:
     def backlog(self) -> int:
         """Number of queued, not-yet-executed batches."""
         return sum(len(q) for q in self.queues.values())
+
+    def queued_batches(self) -> List[QueuedBatch]:
+        """Every queued batch, in flush order (deterministic)."""
+        return sorted((b for q in self.queues.values() for b in q),
+                      key=lambda b: b.seq)
+
+    def retract(self, seq: int) -> Optional[QueuedBatch]:
+        """Pull one queued batch back out (preemption / cancellation).
+
+        Reverses :meth:`enqueue`'s pending-time accounting but leaves
+        ``assigned_est_s`` alone — that is the dispatcher's cumulative
+        routing signal and must stay a pure function of the admission
+        stream.  Affinity run state survives; a retracted current level
+        simply runs dry and the next pop rotates as usual.
+        """
+        for name, q in self.queues.items():
+            for batch in q:
+                if batch.seq == seq:
+                    q.remove(batch)
+                    if not q:
+                        del self.queues[name]
+                    self.pending_s = max(0.0,
+                                         self.pending_s - batch.est_service_s)
+                    return batch
+        return None
 
     def _oldest_head(self, exclude: Optional[str] = None) -> Optional[str]:
         """Level whose queue head was flushed earliest (min seq)."""

@@ -9,7 +9,7 @@ drift from the bench that is supposed to mirror it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -77,6 +77,16 @@ class StackConfig:
     shed_policy: str = "none"
     max_queue: Optional[int] = None
     probe_backoff_s: float = 0.005
+    # scheduler defenses: deadline-driven preemption of placed work
+    # (off|queued|running), an engine-wide client cancellation timeout,
+    # per-tenant weighted fair shares of the bounded queue, and which
+    # batching-window estimate the shed policies consult ("remaining"
+    # charges only the open group's residual window; "full" keeps the
+    # historical whole-max_wait_s pessimism)
+    preempt_policy: str = "off"
+    cancel_after_s: Optional[float] = None
+    tenant_weights: Optional[Dict[str, float]] = None
+    admission_estimate: str = "remaining"
 
     def __post_init__(self) -> None:
         if self.fast_forward is not None:
@@ -119,7 +129,11 @@ def build_serving_stack(cfg: Optional[StackConfig] = None
                          decode=cfg.decode,
                          faults=cfg.faults, shed_policy=cfg.shed_policy,
                          max_queue=cfg.max_queue,
-                         probe_backoff_s=cfg.probe_backoff_s)
+                         probe_backoff_s=cfg.probe_backoff_s,
+                         preempt_policy=cfg.preempt_policy,
+                         cancel_after_s=cfg.cancel_after_s,
+                         tenant_weights=cfg.tenant_weights,
+                         admission_estimate=cfg.admission_estimate)
     if cfg.streaming:
         return model, workload, engine.streaming(max_wait_s=cfg.max_wait_s)
     return model, workload, engine

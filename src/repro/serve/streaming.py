@@ -36,9 +36,11 @@ timeline for the same arrival stream, which is exactly how the offline
 :meth:`~repro.serve.engine.ServeEngine.serve` wrapper reproduces its
 historical behaviour on top of this loop.
 
-At equal simulated times, fault events land first, then arrivals, then
-window closes, then shard executions (then submission order), so ties
-are deterministic.
+At equal simulated times, fault events land first, then cancellations,
+then arrivals, then window closes, then shard executions (then
+submission order), so ties are deterministic — a crash at a cancel's
+instant has already failed its work over before the cancel goes
+looking for it (cancel-during-failover is well-defined).
 
 Fault tolerance (:mod:`repro.serve.faults`) folds into the same heap: a
 :class:`~repro.serve.faults.FaultPlan` schedules crash/stall/slow
@@ -53,7 +55,32 @@ queue, so the surviving requests group into exactly the micro-batches a
 fault-free serve of the same survivors would form — which is what makes
 every completed output bit-identical to that fault-free serve (the
 faults bench's core invariant, alongside conservation:
-``completed + shed == submitted``).
+``completed + shed + cancelled == submitted``).
+
+Three scheduler-side defenses ride the same heap (PR: preemptive
+deadline scheduling):
+
+- **preemption** (``preempt_policy``) — when a freshly admitted batch
+  would miss its SLO budget behind longer work on its shard, the
+  scheduler may pull a looser-budget *queued* batch back out and
+  re-route it (``"queued"``), or additionally retract the shard's
+  in-flight batch through the crash-retraction machinery
+  (``"running"``).  A preempted batch is requeued with the same
+  pattern-switch-equivalent penalty as a crash failover and re-executes
+  on its *full original membership*, so every completed output stays
+  bit-identical;
+- **cancellation** — :meth:`StreamingEngine.cancel` (or the engine-wide
+  ``cancel_after_s`` client timeout) retracts a request wherever it is
+  — pre-arrival, open admission group, queued/parked batch, pending
+  decode job, or in-flight result — as a new *terminal* state recorded
+  in :class:`~repro.serve.faults.CancelRecord`;
+- **per-tenant isolation** (``tenant_weights``) — with a bounded queue,
+  each tenant owns a weighted share of the admission slots; a tenant
+  flooding past its share is shed (``tenant_quota``) while every other
+  tenant keeps admitting, so one hot client cannot starve the fleet
+  (every tenant's share is at least one slot).  Quota decisions happen
+  before the admission queue, like shedding, so grouping — and
+  therefore bit-exactness — is untouched.
 """
 
 from __future__ import annotations
@@ -82,7 +109,9 @@ from repro.serve.batcher import (
 from repro.serve.cache import ArtifactCache, CacheStats
 from repro.serve.decode import DecodeJob, DecodeOptions
 from repro.serve.faults import (
+    PREEMPT_POLICIES,
     SHED_POLICIES,
+    CancelRecord,
     FaultInjector,
     FaultPlan,
     ShardFault,
@@ -98,9 +127,11 @@ from repro.serve.sharding import (
 )
 
 # event-kind priorities: at one simulated instant, fault events land
-# before admissions before batch windows close before devices pick their
-# next batch (a crash at an arrival's instant is visible to that arrival)
-_FAULT = -1
+# before cancellations before admissions before batch windows close
+# before devices pick their next batch (a crash at an arrival's instant
+# is visible to that arrival; a cancel at a crash's instant sees the
+# failed-over work, so cancel-during-failover is deterministic)
+_FAULT, _CANCEL = -2, -1
 _ARRIVAL, _WINDOW_CLOSE, _SHARD_READY = 0, 1, 2
 
 
@@ -117,9 +148,11 @@ class ServeReport:
     policy: str = "round-robin"
     time_sliced: bool = True
     # fault-tolerance accounting: requests refused at admission (with
-    # reasons) and the conservation pair — every submitted request is
-    # accounted for as completed or shed, never silently lost
+    # reasons), requests withdrawn by cancellation, and the conservation
+    # identity — every submitted request is accounted for as completed,
+    # shed or cancelled, never silently lost
     shed: List[ShedRecord] = field(default_factory=list)
+    cancelled: List[CancelRecord] = field(default_factory=list)
     submitted: int = 0
     completed: int = 0
 
@@ -220,9 +253,14 @@ class ServeReport:
         return self.num_shed / self.submitted if self.submitted else 0.0
 
     @property
+    def num_cancelled(self) -> int:
+        return len(self.cancelled)
+
+    @property
     def conserved(self) -> bool:
-        """No request silently lost: completed + shed == submitted."""
-        return self.completed + self.num_shed == self.submitted
+        """No request lost: completed + shed + cancelled == submitted."""
+        return (self.completed + self.num_shed + self.num_cancelled
+                == self.submitted)
 
     @property
     def degraded_requests(self) -> int:
@@ -251,6 +289,48 @@ class ServeReport:
         """Worst probe-detection lag past a shard's physical recovery."""
         return max((s.recovery_lag_s for s in self.shard_stats), default=0.0)
 
+    @property
+    def preemptions(self) -> int:
+        """Batches pulled back (queued or in-flight) for a tighter deadline."""
+        return sum(s.preempted_batches for s in self.shard_stats)
+
+    # -- per-tenant isolation aggregates --------------------------------
+    def tenant_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Terminal-state counts per tenant (completed/shed/cancelled).
+
+        Built from the retained result/shed/cancel records, so under
+        conservation the per-tenant counts sum to that tenant's
+        submissions.  (A ``retain_results=False`` session drops result
+        records as they release, so only shed/cancelled survive there.)
+        """
+        out: Dict[str, Dict[str, int]] = {}
+
+        def slot(tenant: str) -> Dict[str, int]:
+            return out.setdefault(tenant, {
+                "completed": 0, "shed": 0, "cancelled": 0,
+                "degraded": 0, "slo_misses": 0})
+
+        for r in self.results:
+            s = slot(r.request.tenant)
+            s["completed"] += 1
+            if r.degraded:
+                s["degraded"] += 1
+            if not r.met_slo:
+                s["slo_misses"] += 1
+        for rec in self.shed:
+            slot(rec.request.tenant)["shed"] += 1
+        for rec in self.cancelled:
+            slot(rec.request.tenant)["cancelled"] += 1
+        return out
+
+    @property
+    def starved_tenants(self) -> List[str]:
+        """Tenants that saw traffic reach a terminal state yet completed
+        nothing — the condition the weighted fair shares exist to
+        prevent (a tenant whose every request was shed or cancelled)."""
+        return sorted(t for t, s in self.tenant_breakdown().items()
+                      if s["completed"] == 0)
+
     def summary(self) -> dict:
         """Machine-readable digest (consumed by the bench JSON output)."""
         out = {
@@ -272,10 +352,11 @@ class ServeReport:
         if self.decode_tokens:
             out["decode_streams"] = self.decode_streams
             out["decode_tokens"] = self.decode_tokens
-        if (self.shed or self.degraded_requests or self.failures
-                or self.stalls):
-            # only when fault/overload traffic actually happened, so the
-            # committed fault-free bench digests replay unchanged
+        if (self.shed or self.cancelled or self.degraded_requests
+                or self.failures or self.stalls or self.preemptions):
+            # only when fault/overload/scheduler traffic actually
+            # happened, so the committed fault-free bench digests replay
+            # unchanged
             reasons: Dict[str, int] = {}
             for rec in self.shed:
                 reasons[rec.reason] = reasons.get(rec.reason, 0) + 1
@@ -285,6 +366,8 @@ class ServeReport:
                 "shed": self.num_shed,
                 "shed_rate": self.shed_rate,
                 "shed_reasons": reasons,
+                "cancelled": self.num_cancelled,
+                "preemptions": self.preemptions,
                 "conserved": self.conserved,
                 "degraded_requests": self.degraded_requests,
                 "failures": self.failures,
@@ -297,6 +380,11 @@ class ServeReport:
                 "stalls": self.stalls,
                 "max_recovery_lag_ms": 1e3 * self.max_recovery_lag_s,
             }
+        breakdown = self.tenant_breakdown()
+        if set(breakdown) - {"default"}:
+            # multi-tenant traffic only: single-tenant digests replay
+            # byte-identically
+            out["tenants"] = breakdown
         if self.shard_stats:
             makespan = self.sim_makespan_s
             out["shards"] = [s.as_dict(makespan) for s in self.shard_stats]
@@ -349,7 +437,11 @@ class StreamingEngine:
                  faults: Optional[FaultPlan] = None,
                  shed_policy: str = "none",
                  max_queue: Optional[int] = None,
-                 probe_backoff_s: float = 0.005) -> None:
+                 probe_backoff_s: float = 0.005,
+                 preempt_policy: str = "off",
+                 cancel_after_s: Optional[float] = None,
+                 tenant_weights: Optional[Dict[str, float]] = None,
+                 admission_estimate: str = "remaining") -> None:
         if devices < 1:
             raise ValueError("devices must be at least 1")
         if policy not in POLICIES:
@@ -365,6 +457,25 @@ class StreamingEngine:
                              f"options: {list(SHED_POLICIES)}")
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be at least 1 (or None)")
+        if preempt_policy not in PREEMPT_POLICIES:
+            raise ValueError(f"unknown preempt policy {preempt_policy!r}; "
+                             f"options: {list(PREEMPT_POLICIES)}")
+        if cancel_after_s is not None and (
+                not np.isfinite(cancel_after_s) or cancel_after_s <= 0):
+            raise ValueError(
+                "cancel_after_s must be finite and positive (or None)")
+        if tenant_weights is not None:
+            for tenant, weight in tenant_weights.items():
+                if not tenant:
+                    raise ValueError("tenant names must be non-empty")
+                if np.isnan(weight) or not np.isfinite(weight) or weight <= 0:
+                    raise ValueError(
+                        f"tenant weight for {tenant!r} must be finite and "
+                        "positive")
+        if admission_estimate not in ("remaining", "full"):
+            raise ValueError(
+                f"unknown admission estimate {admission_estimate!r}; "
+                "options: ['remaining', 'full']")
         self.model = model
         self.adapter = adapter
         self.cache = cache
@@ -434,6 +545,21 @@ class StreamingEngine:
         self.max_queue = max_queue
         self.injector = (FaultInjector(faults, devices, probe_backoff_s)
                          if faults is not None else None)
+        # -- preemption / cancellation / tenant isolation --------------
+        self.preempt_policy = preempt_policy
+        self.cancel_after_s = cancel_after_s
+        self.tenant_weights = (dict(tenant_weights)
+                               if tenant_weights is not None else None)
+        # "remaining" charges only the open group's residual batching
+        # window in the shed estimate; "full" keeps the historical
+        # full-max_wait_s pessimism for digest replay
+        self.admission_estimate = admission_estimate
+        self._cancelled: List[CancelRecord] = []
+        # requests cancelled before their arrival event was processed,
+        # and the ids whose arrivals have been processed (so a cancel
+        # can tell "not arrived yet" from "already terminal")
+        self._cancel_pending: set = set()
+        self._arrived: set = set()
         self._shed: List[ShedRecord] = []
         self._submitted = 0
         self._completed = 0
@@ -590,6 +716,30 @@ class StreamingEngine:
                                     next(self._tiebreak), job))
         self._wall += time.perf_counter() - start
 
+    def cancel(self, request_id: int,
+               at_s: Optional[float] = None) -> None:
+        """Withdraw a request; the retraction lands at ``at_s`` (or now).
+
+        The cancel is an event on the global heap — ordered after fault
+        events and before arrivals at the same instant — so any schedule
+        of submits/ticks retracts exactly the same work.  Whatever stage
+        the request has reached (pre-arrival, open admission group,
+        queued or parked batch, pending decode job, in-flight result
+        not yet at its completion instant) it is pulled back and
+        recorded as a :class:`~repro.serve.faults.CancelRecord`; a
+        request that already completed (or was shed) is left alone — the
+        cancel arrived too late and is a no-op.  In-flight device time
+        is not refunded: the retracted member's result is suppressed,
+        but its batch's clock advance stands.
+        """
+        when = self.now_s if at_s is None else at_s
+        if when < self.now_s:
+            raise ValueError(
+                f"cancel of request {request_id} at {when:.6f}s predates "
+                f"simulated time {self.now_s:.6f}s")
+        heapq.heappush(self._heap, (when, _CANCEL, next(self._tiebreak),
+                                    request_id))
+
     def tick(self, until_s: float) -> List[RequestResult]:
         """Advance simulated time to ``until_s``; completions in order.
 
@@ -656,6 +806,7 @@ class StreamingEngine:
                                               key=lambda t: t[0])]
         report.shard_stats = [s.stats for s in self.shards]
         report.shed = list(self._shed)
+        report.cancelled = list(self._cancelled)
         report.submitted = self._submitted
         report.completed = self._completed
         report.wall_seconds = max(0.0, self._wall - self._verify_wall)
@@ -684,6 +835,8 @@ class StreamingEngine:
             self.now_s = max(self.now_s, when)
             if kind == _FAULT:
                 self._on_fault(payload, when)
+            elif kind == _CANCEL:
+                self._on_cancel(payload, when)
             elif kind == _ARRIVAL:
                 self._on_arrival(payload, when)
             elif kind == _WINDOW_CLOSE:
@@ -769,28 +922,17 @@ class StreamingEngine:
                 # bits are identical and only not-yet-done members emit
                 if entry[0] == "batch":
                     _, qb, emitted, end = entry
-                    lost = [r for r in emitted if r.completion_s > now]
-                    if lost:
-                        survivors = {r.request.req_id for r in emitted
-                                     if r.completion_s <= now}
-                        done = tuple(sorted(set(qb.done_ids) | survivors))
-                        for r in lost:
-                            r.canceled = True
-                        self._completed -= len(lost)
-                        shard.rollback_inflight(
-                            now, len(lost), end,
-                            lost_batch=len(lost) == len(emitted))
-                        retry = QueuedBatch(qb.seq, qb.requests,
-                                            qb.level_name, now,
-                                            qb.est_service_s,
-                                            sparsity=qb.sparsity,
-                                            requeues=qb.requeues + 1,
-                                            done_ids=done)
+                    retry = self._retract_inflight_batch(shard, qb,
+                                                         emitted, end, now)
+                    if retry is not None:
                         shard.stats.requeued_batches += 1
                 else:  # decode boundary: streams finished past the crash
                     _, pairs, _ = entry
                     for result, job in pairs:
-                        if result.completion_s > now:
+                        if result.completion_s > now and not result.canceled:
+                            # a member already cancel-retracted is
+                            # terminal — it neither refunds again nor
+                            # restarts its stream
                             result.canceled = True
                             self._completed -= 1
                             shard.stats.decode_streams -= 1
@@ -809,6 +951,37 @@ class StreamingEngine:
             self._dispatch_batch(qb)
         for job in retry_jobs + jobs:
             self._dispatch_decode(job)
+
+    def _retract_inflight_batch(self, shard: DeviceShard, qb: QueuedBatch,
+                                emitted: List[RequestResult], end: float,
+                                now: float,
+                                new_seq: Optional[int] = None
+                                ) -> Optional[QueuedBatch]:
+        """Retract the not-yet-completed members of an in-flight batch.
+
+        Crash failover and running-batch preemption share this path:
+        members whose completion already streamed out (or were cancel-
+        retracted — terminal either way) stay done, the rest have their
+        results suppressed and re-execute on the full original
+        membership.  Returns the retry batch to re-dispatch, or ``None``
+        when every member is already accounted for.
+        """
+        lost = [r for r in emitted if r.completion_s > now and not r.canceled]
+        if not lost:
+            return None
+        done_now = {r.request.req_id for r in emitted
+                    if r.completion_s <= now or r.canceled}
+        done = tuple(sorted(set(qb.done_ids) | done_now))
+        for r in lost:
+            r.canceled = True
+        self._completed -= len(lost)
+        shard.rollback_inflight(
+            now, len(lost), end,
+            lost_batch=not any(r.completion_s <= now for r in emitted))
+        return QueuedBatch(qb.seq if new_seq is None else new_seq,
+                           qb.requests, qb.level_name, now, qb.est_service_s,
+                           sparsity=qb.sparsity, requeues=qb.requeues + 1,
+                           done_ids=done)
 
     def _rejoin_shard(self, shard: DeviceShard, now: float) -> None:
         shard.rejoin(now)
@@ -866,6 +1039,96 @@ class StreamingEngine:
                 self._shed_request(req, now, reason)
 
     # ------------------------------------------------------------------
+    # cancellation (explicit client withdrawal — a terminal state)
+    # ------------------------------------------------------------------
+    def _record_cancel(self, request: InferenceRequest, now: float,
+                       where: str) -> None:
+        self._cancelled.append(CancelRecord(request, now, where))
+
+    @staticmethod
+    def _batch_member(qb: QueuedBatch, req_id: int
+                      ) -> Optional[InferenceRequest]:
+        """The live (not-done) member with ``req_id``, if any."""
+        if req_id in qb.done_ids:
+            return None
+        return next((r for r in qb.requests if r.req_id == req_id), None)
+
+    def _cancel_from_batch(self, qb: QueuedBatch, req: InferenceRequest,
+                           now: float, shard: Optional[DeviceShard] = None,
+                           parked: bool = False) -> None:
+        """Suppress one member of a queued/parked batch.
+
+        The membership itself is preserved — a later execution still
+        computes the full batch, so the surviving members' bits are
+        untouched — the cancelled member just joins ``done_ids`` and
+        never emits.  A batch left with no live members is dropped
+        outright (a clean serve of the survivors would never have
+        executed it).
+        """
+        done = set(qb.done_ids) | {req.req_id}
+        qb.done_ids = tuple(sorted(done))
+        if len(done) == len(qb.requests):
+            if parked:
+                self._parked.remove(qb)
+            elif shard is not None:
+                shard.retract(qb.seq)
+        self._record_cancel(req, now, "parked" if parked else "queued")
+
+    def _on_cancel(self, req_id: int, now: float) -> None:
+        """Retract ``req_id`` from wherever it currently lives.
+
+        At most one stage can hold a request at any instant, so the
+        search order only affects speed, not outcome.  A request found
+        nowhere already reached a terminal state (completed, shed,
+        previously cancelled, or an active decode stream — which holds
+        live session state and runs to completion): the cancel is a
+        deterministic no-op.
+        """
+        if req_id not in self._arrived:
+            self._cancel_pending.add(req_id)
+            return
+        req = self.admission.remove(req_id)
+        if req is not None:
+            self._record_cancel(req, now, "admission")
+            return
+        for shard in self.shards:
+            for qb in shard.queued_batches():
+                member = self._batch_member(qb, req_id)
+                if member is not None:
+                    self._cancel_from_batch(qb, member, now, shard=shard)
+                    return
+        for qb in self._parked:
+            member = self._batch_member(qb, req_id)
+            if member is not None:
+                self._cancel_from_batch(qb, member, now, parked=True)
+                return
+        for shard in self.shards:
+            job = shard.decode.remove_pending(req_id)
+            if job is not None:
+                self._record_cancel(job.request, now, "decode_pending")
+                return
+        for job in self._parked_decode:
+            if job.request.req_id == req_id:
+                self._parked_decode.remove(job)
+                self._record_cancel(job.request, now, "decode_pending")
+                return
+        for shard_id in sorted(self._inflight):
+            entry = self._inflight[shard_id]
+            results = (entry[2] if entry[0] == "batch"
+                       else [r for r, _ in entry[1]])
+            for result in results:
+                if (result.request.req_id == req_id and not result.canceled
+                        and result.completion_s > now):
+                    # retract the result before its completion instant;
+                    # the device time already spent is not refunded
+                    result.canceled = True
+                    self._completed -= 1
+                    if entry[0] == "decode":
+                        self.shards[shard_id].stats.decode_streams -= 1
+                    self._record_cancel(result.request, now, "inflight")
+                    return
+
+    # ------------------------------------------------------------------
     # admission control (deadline-aware shedding / graceful degradation)
     # ------------------------------------------------------------------
     def _single_est_s(self, level: VFLevel, sparsity: Optional[float]) -> float:
@@ -874,21 +1137,77 @@ class StreamingEngine:
             sparsity if sparsity is not None else self.fallback_sparsity,
             SparsityKind.PATTERN, self.adapter.hardware_pattern_size)
 
-    def _admission_estimate_s(self, now: float, service_s: float) -> float:
+    def _admission_estimate_s(self, now: float, service_s: float,
+                              key: Optional[Hashable] = None) -> float:
         """Deterministic completion estimate for a request arriving now.
 
-        Pessimistic by design: a full batching window of wait, plus the
+        Pessimistic by design: the batching-window wait, plus the
         earliest instant an available device runs dry (its clock plus
         queued backlog), plus the single-request service time at the
         candidate operating point.  Every input is a pure function of
         the executed event history, so the estimate — and therefore the
         shed decision — is tick-granularity independent.
+
+        The default ``"remaining"`` estimate charges only the residual
+        window of the open group a ``key``-compatible request would
+        actually join (nothing at all when the admission would flush it
+        full); the historical ``"full"`` mode always charged a whole
+        ``max_wait_s``, which over-shed mid-window arrivals badly enough
+        that the docs used to recommend shrinking ``--window-ms`` to
+        compensate.
         """
         avail = self._available_shards()
         if not avail:
             return float("inf")
         free = min(max(s.clock_s, now) + s.pending_s for s in avail)
-        return max(now + self.max_wait_s, free) + service_s
+        wait = now + self.max_wait_s
+        if self.admission_estimate == "remaining" and key is not None:
+            group = self.admission.open_group(key)
+            if group is not None:
+                wait = (now if len(group.requests) + 1 >= self.max_batch
+                        else group.deadline_s)
+        return max(wait, free) + service_s
+
+    def _tenant_share(self, tenant: str) -> float:
+        """The tenant's weighted share of the bounded queue, >= 1 slot.
+
+        The one-slot floor is the starvation guard: no matter how the
+        weights divide ``max_queue``, every tenant can always hold at
+        least one request in the system, so every live tenant makes
+        progress even under a hot-tenant flood.
+        """
+        weights = self.tenant_weights or {}
+        total = sum(weights.values())
+        if tenant in weights:
+            w = weights[tenant]
+        else:
+            # unlisted tenants join as weight-1 participants
+            w = 1.0
+            total += 1.0
+        if self.max_queue is None or total <= 0:
+            return float("inf")
+        return max(1.0, self.max_queue * w / total)
+
+    def _tenant_backlog(self, tenant: str) -> int:
+        """This tenant's live requests waiting anywhere in the system.
+
+        The per-tenant analogue of :meth:`backlog` (open admission
+        groups + queued batches), extended over parked work and pending
+        decode jobs; every term is a pure function of the executed event
+        history, so quota decisions are tick-granularity independent.
+        """
+        count = sum(1 for r in self.admission.waiting()
+                    if r.tenant == tenant)
+        batches = [qb for s in self.shards for qb in s.queued_batches()]
+        batches.extend(self._parked)
+        for qb in batches:
+            done = set(qb.done_ids)
+            count += sum(1 for r in qb.requests
+                         if r.req_id not in done and r.tenant == tenant)
+        jobs = [job for s in self.shards for _, _, job in s.decode.pending]
+        jobs.extend(self._parked_decode)
+        count += sum(1 for job in jobs if job.request.tenant == tenant)
+        return count
 
     def _admission_control(self, request: InferenceRequest,
                            now: float) -> bool:
@@ -903,13 +1222,21 @@ class StreamingEngine:
         if self.max_queue is not None and self.backlog() >= self.max_queue:
             self._shed_request(request, now, "queue_full")
             return False
+        if (self.tenant_weights is not None and self.max_queue is not None
+                and (self._tenant_backlog(request.tenant)
+                     >= self._tenant_share(request.tenant))):
+            # weighted fair admission: the tenant flooded past its share
+            # of the bounded queue; everyone else's share stays intact
+            self._shed_request(request, now, "tenant_quota")
+            return False
         if self.shed_policy == "none":
             return True
         level = self._level(request.level_name)
         budget = request.arrival_s + request.slo
         resolved = self.adapter.feasible_sparsity(level, request.deadline_s)
         est = self._admission_estimate_s(
-            now, self._single_est_s(level, resolved))
+            now, self._single_est_s(level, resolved),
+            key=(request.level_name, resolved))
         if resolved is not None and est <= budget:
             return True
         if self.shed_policy == "degrade":
@@ -929,7 +1256,8 @@ class StreamingEngine:
                 if lat > slo:
                     continue  # keep the slo >= deadline invariant
                 rung_est = self._admission_estimate_s(
-                    now, self._single_est_s(level, sparsity))
+                    now, self._single_est_s(level, sparsity),
+                    key=(request.level_name, sparsity))
                 if rung_est <= budget:
                     request.degraded_from_s = request.deadline_s
                     request.slo_s = slo
@@ -939,10 +1267,26 @@ class StreamingEngine:
         return False
 
     def _on_arrival(self, request: InferenceRequest, now: float) -> None:
+        req = request.request if isinstance(request, DecodeJob) else request
+        self._arrived.add(req.req_id)
+        if req.req_id in self._cancel_pending:
+            # cancelled before the arrival was processed: the request
+            # never touches admission, exactly like a fault-free serve
+            # of the survivors
+            self._cancel_pending.discard(req.req_id)
+            self._record_cancel(req, now, "pre_admission")
+            return
+        if self.cancel_after_s is not None:
+            # engine-wide client timeout: every arrival arms a cancel at
+            # arrival + cancel_after_s (a no-op if it completes first)
+            heapq.heappush(self._heap,
+                           (now + self.cancel_after_s, _CANCEL,
+                            next(self._tiebreak), req.req_id))
         if isinstance(request, DecodeJob):
             self._place_decode(request, now)
             return
-        if ((self.shed_policy != "none" or self.max_queue is not None)
+        if ((self.shed_policy != "none" or self.max_queue is not None
+                or self.tenant_weights is not None)
                 and not self._admission_control(request, now)):
             return
         full, window = self.admission.add(request, now)
@@ -990,6 +1334,92 @@ class StreamingEngine:
             # installed before traffic, so it is not charged to the timeline
             shard.active_sparsity = sparsity
         self._prewarmed.add(shard.shard_id)
+        if self.preempt_policy != "off":
+            self._maybe_preempt(shard, qb, self.now_s)
+
+    # ------------------------------------------------------------------
+    # preemption (deadline-driven retraction of placed work)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _batch_budget(qb: QueuedBatch) -> float:
+        """The batch's SLO budget: its tightest live member's deadline."""
+        done = set(qb.done_ids)
+        return min((r.arrival_s + r.slo for r in qb.requests
+                    if r.req_id not in done), default=float("inf"))
+
+    def _maybe_preempt(self, shard: DeviceShard, qb: QueuedBatch,
+                       now: float) -> None:
+        """Pull looser-budget work off ``qb``'s shard if ``qb`` needs it.
+
+        Runs right after admission routing.  While the freshly placed
+        batch's completion estimate overshoots its SLO budget, the
+        scheduler retracts the shard's largest *strictly looser-budget*
+        queued batch and sends it back through the dispatcher (with a
+        fresh sequence number, so it drains behind the preemptor even if
+        it lands back here, and one requeue charged — the same
+        pattern-switch-equivalent a crash failover pays).  Under
+        ``"running"`` the shard's in-flight batch is fair game too,
+        retracted through the crash machinery so completed members keep
+        their (bit-identical) results and the full original membership
+        re-executes.  Every decision is a pure function of the event
+        history — preemption is exactly as deterministic and
+        tick-granularity independent as the rest of the loop.
+        """
+        budget = self._batch_budget(qb)
+        if not np.isfinite(budget):
+            return
+        if max(now, qb.ready_s) + qb.est_service_s > budget:
+            return  # infeasible even alone: preempting others buys nothing
+
+        def eta() -> float:
+            # when qb plausibly completes: the device drains everything
+            # ahead of it (clock + pending backlog minus qb itself), then
+            # runs qb
+            ahead = max(0.0, shard.pending_s - qb.est_service_s)
+            return (max(max(shard.clock_s, now) + ahead, qb.ready_s)
+                    + qb.est_service_s)
+
+        moved: set = set()
+        guard = len(qb.requests) + sum(len(b)
+                                       for q in shard.queues.values()
+                                       for b in q) + 2
+        while eta() > budget and guard > 0:
+            guard -= 1
+            victims = [v for v in shard.queued_batches()
+                       if v.seq != qb.seq and v.seq not in moved
+                       and self._batch_budget(v) > budget]
+            if victims:
+                victim = max(victims,
+                             key=lambda v: (v.est_service_s, -v.seq))
+                shard.retract(victim.seq)
+                # a fresh seq orders the victim behind the preemptor under
+                # fifo drain wherever it re-lands
+                victim.seq = self._seq
+                self._seq += 1
+                victim.requeues += 1
+                victim.ready_s = max(victim.ready_s, now)
+                shard.stats.preempted_batches += 1
+                moved.add(victim.seq)
+                self._dispatch_batch(victim)
+                continue
+            if self.preempt_policy == "running":
+                entry = self._inflight.get(shard.shard_id)
+                if (entry is not None and entry[0] == "batch"
+                        and entry[-1] > now
+                        and self._batch_budget(entry[1]) > budget):
+                    _, vqb, emitted, end = entry
+                    retry = self._retract_inflight_batch(
+                        shard, vqb, emitted, end, now, new_seq=self._seq)
+                    if retry is not None:
+                        self._seq += 1
+                        del self._inflight[shard.shard_id]
+                        shard.stats.preempted_batches += 1
+                        moved.add(retry.seq)
+                        self._dispatch_batch(retry)
+                        # the rollback freed the device at now; re-arm it
+                        self._schedule_shard(shard)
+                        continue
+            return  # nothing (left) worth preempting
 
     def _schedule_shard(self, shard: DeviceShard) -> None:
         when = shard.next_event_s()

@@ -591,6 +591,129 @@ class TestCompareFaults:
         assert all(verdicts(findings).values())
 
 
+def _preempt_arm(completed=55, shed=45, cancelled=2, preemptions=12,
+                 victim_misses=0, conserved=True, exact=True,
+                 starved=(), hot_shed_rate=0.47):
+    return {
+        "submitted": 102, "completed": completed, "shed": shed,
+        "shed_reasons": {"queue_full": shed}, "cancelled": cancelled,
+        "cancel_where": ["inflight", "inflight"],
+        "preemptions": preemptions, "requeued_batches": 0,
+        "retried_batches": preemptions, "retry_penalty_ms": 140.0,
+        "conserved": float(conserved), "exact": float(exact),
+        "starved_tenants": list(starved),
+        "tenants": {}, "victim_slo_misses": victim_misses,
+        "hot_slo_misses": shed, "hot_shed_rate": hot_shed_rate,
+        "victim_p95_latency_ms": 1.0, "p95_latency_ms": 8.0,
+        "sim_makespan_s": 0.02,
+    }
+
+
+def preempt_digest(fifo_misses=6, preempt_misses=0, conserved=True,
+                   exact=True, preemptions=12, cancelled=2, starved=(),
+                   hot_shed_rate=0.47, miss_floor=1, miss_ceiling=0,
+                   shed_ceiling=0.75):
+    return {
+        "scenario": "hot-tenant head-of-line", "requests": 102,
+        "devices": 1, "seed": 0, "cancels": 2,
+        "policies": {
+            "fifo": _preempt_arm(completed=38, shed=62, preemptions=0,
+                                 victim_misses=fifo_misses,
+                                 conserved=conserved, exact=exact,
+                                 cancelled=cancelled,
+                                 hot_shed_rate=hot_shed_rate),
+            "preempt": _preempt_arm(victim_misses=preempt_misses,
+                                    conserved=conserved, exact=exact,
+                                    preemptions=preemptions,
+                                    cancelled=cancelled, starved=starved,
+                                    hot_shed_rate=hot_shed_rate),
+        },
+        "separation": {"fifo_victim_misses": fifo_misses,
+                       "preempt_victim_misses": preempt_misses,
+                       "strict": float(preempt_misses < fifo_misses)},
+        "acceptance": {"fifo_victim_miss_floor": miss_floor,
+                       "preempt_victim_miss_ceiling": miss_ceiling,
+                       "hot_shed_rate_ceiling": shed_ceiling},
+        "wall_s": 0.1,
+    }
+
+
+class TestComparePreempt:
+    def test_identical_digests_pass(self):
+        findings = gate.compare_preempt(preempt_digest(), preempt_digest())
+        assert all(verdicts(findings).values())
+
+    def test_conservation_breach_fails(self):
+        findings = gate.compare_preempt(preempt_digest(),
+                                        preempt_digest(conserved=False))
+        v = verdicts(findings)
+        assert v["policies.fifo.conserved"] is False
+        assert v["policies.preempt.conserved"] is False
+
+    def test_exactness_breach_fails(self):
+        findings = gate.compare_preempt(preempt_digest(),
+                                        preempt_digest(exact=False))
+        assert verdicts(findings)["policies.preempt.exact"] is False
+
+    def test_counter_drift_fails(self):
+        # deterministic simulation: even one extra preemption fails
+        findings = gate.compare_preempt(preempt_digest(),
+                                        preempt_digest(preemptions=13))
+        assert verdicts(findings)["policies.preempt.preemptions"] is False
+
+    def test_cancel_count_drift_fails(self):
+        findings = gate.compare_preempt(preempt_digest(),
+                                        preempt_digest(cancelled=1))
+        assert verdicts(findings)["policies.fifo.cancelled"] is False
+
+    def test_lost_strict_separation_fails(self):
+        findings = gate.compare_preempt(
+            preempt_digest(),
+            preempt_digest(fifo_misses=6, preempt_misses=6))
+        assert verdicts(findings)["separation.strict"] is False
+
+    def test_starved_tenant_fails(self):
+        findings = gate.compare_preempt(
+            preempt_digest(), preempt_digest(starved=("victim",)))
+        assert (verdicts(findings)["policies.preempt.starved_tenants"]
+                is False)
+
+    def test_missing_arm_fails(self):
+        fresh = preempt_digest()
+        del fresh["policies"]["preempt"]
+        findings = gate.compare_preempt(preempt_digest(), fresh)
+        assert verdicts(findings)["policies.preempt"] is False
+
+    def test_hot_shed_rate_over_budget_fails(self):
+        findings = gate.compare_preempt(preempt_digest(),
+                                        preempt_digest(hot_shed_rate=0.9))
+        assert verdicts(findings)["policies.fifo.hot_shed_rate"] is False
+
+    def test_baseline_budgets_are_authoritative(self):
+        # a fresh run cannot widen the gate by shipping looser budgets
+        fresh = preempt_digest(hot_shed_rate=0.9, shed_ceiling=0.95)
+        findings = gate.compare_preempt(preempt_digest(), fresh)
+        assert verdicts(findings)["policies.fifo.hot_shed_rate"] is False
+
+    def test_preempt_ceiling_gates_fresh_misses(self):
+        # the fresh preempt arm drifting to 1 victim miss fails both the
+        # exact counter and the committed ceiling
+        fresh = preempt_digest(preempt_misses=1)
+        v = verdicts(gate.compare_preempt(preempt_digest(), fresh))
+        assert v["policies.preempt.victim_slo_misses"] is False
+        assert v["policies.preempt.victim_miss_ceiling"] is False
+
+    def test_penalty_and_latency_never_gated(self):
+        fresh = preempt_digest()
+        fresh["policies"]["preempt"]["retry_penalty_ms"] = 99.0
+        fresh["policies"]["preempt"]["victim_p95_latency_ms"] = 99.0
+        findings = gate.compare_preempt(preempt_digest(), fresh)
+        info = {f["metric"] for f in findings if not f["gated"]}
+        assert "policies.preempt.retry_penalty_ms" in info
+        assert "policies.preempt.victim_p95_latency_ms" in info
+        assert all(verdicts(findings).values())
+
+
 def fig3_digest(best_aw=0.62, best_reward=0.55, front=None, feasible=6,
                 l3=0.3):
     front = front if front is not None else [[0.58, 1.2e6], [0.62, 9.5e5]]
